@@ -1,0 +1,356 @@
+// Benchmarks regenerating the paper's evaluation. There is one
+// benchmark per table and figure (run `go test -bench=. -benchmem`),
+// each reporting the headline quantity of its exhibit as a custom
+// metric so that bench output doubles as a results table, plus
+// ablation benchmarks for the design decisions called out in
+// DESIGN.md.
+//
+// Benchmarks default to tiny/small scales so the suite completes in
+// minutes; cmd/ulmtsim runs the same experiments at any scale.
+package ulmt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ulmt"
+	"ulmt/internal/core"
+	"ulmt/internal/experiment"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/table"
+	"ulmt/internal/workload"
+)
+
+// benchApps is a representative subset covering the behavior classes:
+// multi-stream sequential (CG), pure pointer chasing (Mcf),
+// conflict-limited (Sparse).
+var benchApps = []string{"CG", "Mcf", "Sparse"}
+
+func benchRunner() *experiment.Runner {
+	return experiment.NewRunner(experiment.Options{
+		Scale: workload.ScaleTiny,
+		Apps:  benchApps,
+		Seed:  1,
+	})
+}
+
+func BenchmarkTable1Properties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rows := r.Table1()
+		if len(rows) != 3 {
+			b.Fatal("table 1 incomplete")
+		}
+		for _, row := range rows {
+			if row.Algorithm == "Replicated" {
+				b.ReportMetric(row.RowAccessesPrefetch, "repl-prefetch-rows/miss")
+				b.ReportMetric(row.RowAccessesLearn, "repl-learn-updates/miss")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2Sizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rows := r.Table2()
+		var mb float64
+		for _, row := range rows {
+			mb += row.ReplMB
+		}
+		b.ReportMetric(mb/float64(len(rows)), "avg-repl-table-MB")
+	}
+}
+
+func BenchmarkFig5Prediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rows := r.Fig5()
+		var replL1 float64
+		for _, row := range rows {
+			replL1 += row.Acc["Repl"][0]
+		}
+		b.ReportMetric(replL1/float64(len(rows))*100, "repl-level1-%")
+	}
+}
+
+func BenchmarkFig6MissDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rows := r.Fig6()
+		var crit float64
+		for _, row := range rows {
+			crit += row.Bins[2].Frac // the [200,280) bin
+		}
+		b.ReportMetric(crit/float64(len(rows))*100, "misses-200-280-%")
+	}
+}
+
+func BenchmarkFig7ExecutionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		avgs := r.Fig7Averages()
+		b.ReportMetric(avgs[experiment.CfgRepl], "repl-speedup")
+		b.ReportMetric(avgs[experiment.CfgConvenRepl], "conven4+repl-speedup")
+		b.ReportMetric(avgs[experiment.CfgCustom], "custom-speedup")
+	}
+}
+
+func BenchmarkFig8Location(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		r.Fig8()
+		b.ReportMetric(r.AverageSpeedup(experiment.CfgConvenRepl), "in-dram-speedup")
+		b.ReportMetric(r.AverageSpeedup(experiment.CfgConvenReplMC), "north-bridge-speedup")
+	}
+}
+
+func BenchmarkFig9Effectiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rows := r.Fig9()
+		for _, row := range rows {
+			for _, bar := range row.Bars {
+				if row.App == "Other7Avg" && bar.Config == experiment.CfgRepl {
+					b.ReportMetric(bar.Coverage, "repl-coverage")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig10Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		for _, bar := range r.Fig10() {
+			switch bar.Config {
+			case experiment.CfgRepl:
+				b.ReportMetric(bar.ResponseBusy+bar.ResponseMem, "repl-response-cycles")
+				b.ReportMetric(bar.OccupancyBusy+bar.OccupancyMem, "repl-occupancy-cycles")
+			case experiment.CfgChain:
+				b.ReportMetric(bar.ResponseBusy+bar.ResponseMem, "chain-response-cycles")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11BusUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		for _, bar := range r.Fig11() {
+			if bar.Config == experiment.CfgConvenRepl {
+				b.ReportMetric(bar.Utilization*100, "conven4+repl-bus-%")
+				b.ReportMetric(bar.PrefetchPart*100, "prefetch-traffic-%")
+			}
+		}
+	}
+}
+
+func BenchmarkTable5Customization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(experiment.Options{
+			Scale: workload.ScaleTiny,
+			Apps:  []string{"CG", "Mcf", "MST"},
+			Seed:  1,
+		})
+		rows := r.Table5()
+		for _, row := range rows {
+			if row.App == "CG" {
+				b.ReportMetric(row.SpeedupAfter/row.SpeedupBefore, "cg-custom-gain")
+			}
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md "Key design decisions") ---
+
+func ablationOps() []ulmt.Op {
+	app, _ := ulmt.WorkloadByName("Mcf")
+	return app.Generate(ulmt.ScaleTiny)
+}
+
+func runWith(b *testing.B, mutate func(*ulmt.Config)) ulmt.Results {
+	b.Helper()
+	cfg := ulmt.DefaultConfig()
+	cfg.ULMT = ulmt.NewReplAlgorithm(1<<15, 3)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return ulmt.NewSystem(cfg).Run("Mcf", ablationOps())
+}
+
+// BenchmarkAblationLearnFirst quantifies the paper's
+// prefetch-before-learn ordering (§3.1) by inverting it.
+func BenchmarkAblationLearnFirst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		normal := runWith(b, nil)
+		inverted := runWith(b, func(c *ulmt.Config) { c.LearnFirst = true })
+		b.ReportMetric(normal.ULMT.AvgResponse(), "prefetch-first-response")
+		b.ReportMetric(inverted.ULMT.AvgResponse(), "learn-first-response")
+	}
+}
+
+// BenchmarkAblationCrossMatch quantifies the queue 2/3 cross-matching
+// hardware of Fig 3.
+func BenchmarkAblationCrossMatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := runWith(b, nil)
+		off := runWith(b, func(c *ulmt.Config) { c.DisableCrossMatch = true })
+		b.ReportMetric(float64(on.Cycles), "crossmatch-cycles")
+		b.ReportMetric(float64(off.Cycles), "no-crossmatch-cycles")
+	}
+}
+
+// BenchmarkAblationFilter quantifies the 32-entry Filter module.
+func BenchmarkAblationFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := runWith(b, nil)
+		off := runWith(b, func(c *ulmt.Config) { c.FilterSize = 0 })
+		b.ReportMetric(float64(on.PushesToL2), "filtered-pushes")
+		b.ReportMetric(float64(off.PushesToL2), "unfiltered-pushes")
+	}
+}
+
+// BenchmarkAblationPushVsPull approximates a pull design by dropping
+// pushes at the L2 boundary (§2.1 push vs pull discussion).
+func BenchmarkAblationPushVsPull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		push := runWith(b, nil)
+		pull := runWith(b, func(c *ulmt.Config) { c.DropPushes = true })
+		b.ReportMetric(float64(pull.Cycles)/float64(push.Cycles), "pull-over-push-time")
+	}
+}
+
+// BenchmarkAblationVerbose measures Verbose vs Non-Verbose mode with
+// a processor-side prefetcher on (§3.2).
+func BenchmarkAblationVerbose(b *testing.B) {
+	app, _ := ulmt.WorkloadByName("CG")
+	ops := app.Generate(ulmt.ScaleTiny)
+	run := func(verbose bool) ulmt.Results {
+		cfg := ulmt.DefaultConfig()
+		cfg.ULMT = ulmt.NewReplAlgorithm(1<<15, 3)
+		cfg.Conven = ulmt.NewConven(4, 6)
+		cfg.Verbose = verbose
+		return ulmt.NewSystem(cfg).Run("CG", ops)
+	}
+	for i := 0; i < b.N; i++ {
+		nv := run(false)
+		vb := run(true)
+		b.ReportMetric(float64(nv.ULMT.MissesProcessed), "nonverbose-observations")
+		b.ReportMetric(float64(vb.ULMT.MissesProcessed), "verbose-observations")
+	}
+}
+
+// --- Raw engine throughput, the simulator's own speed ---
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	app, _ := ulmt.WorkloadByName("Mcf")
+	ops := app.Generate(ulmt.ScaleTiny)
+	b.ResetTimer()
+	var retired uint64
+	for i := 0; i < b.N; i++ {
+		cfg := ulmt.DefaultConfig()
+		cfg.ULMT = ulmt.NewReplAlgorithm(1<<15, 3)
+		r := ulmt.NewSystem(cfg).Run("Mcf", ops)
+		retired += r.OpsRetired
+	}
+	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkExtensionActiveVsPassive races the Fig 1-(c) active
+// helper (abridged-program execution in memory) against passive
+// Replicated correlation on a first-traversal pointer chase, where
+// the untrained table is at its weakest.
+func BenchmarkExtensionActiveVsPassive(b *testing.B) {
+	app, _ := ulmt.WorkloadByName("Mcf")
+	ops := app.Generate(ulmt.ScaleTiny)
+	for i := 0; i < b.N; i++ {
+		base := ulmt.NewSystem(ulmt.DefaultConfig()).Run("Mcf", ops)
+
+		pcfg := ulmt.DefaultConfig()
+		pcfg.ULMT = ulmt.NewReplAlgorithm(1<<15, 3)
+		passive := ulmt.NewSystem(pcfg).Run("Mcf", ops)
+
+		acfg := ulmt.DefaultConfig()
+		acfg.Active = &ulmt.ActiveConfig{Slice: ulmt.BuildSlice(ops, acfg), MaxAhead: 16}
+		active := ulmt.NewSystem(acfg).Run("Mcf", ops)
+
+		b.ReportMetric(passive.Speedup(base), "passive-repl-speedup")
+		b.ReportMetric(active.Speedup(base), "active-slice-speedup")
+	}
+}
+
+// BenchmarkExtensionAdaptive measures the §3.3.3 on-the-fly
+// algorithm switcher against its fixed components on a mixed
+// workload (CG has both stream and gather behavior).
+func BenchmarkExtensionAdaptive(b *testing.B) {
+	app, _ := ulmt.WorkloadByName("CG")
+	ops := app.Generate(ulmt.ScaleTiny)
+	run := func(alg ulmt.Algorithm) ulmt.Results {
+		cfg := ulmt.DefaultConfig()
+		cfg.ULMT = alg
+		return ulmt.NewSystem(cfg).Run("CG", ops)
+	}
+	for i := 0; i < b.N; i++ {
+		base := ulmt.NewSystem(ulmt.DefaultConfig()).Run("CG", ops)
+		seq := run(ulmt.NewSeqAlgorithm(4, 6))
+		repl := run(ulmt.NewReplAlgorithm(1<<15, 3))
+		adaptive := run(ulmt.NewAdaptiveAlgorithm(
+			ulmt.NewSeqAlgorithm(4, 6), ulmt.NewReplAlgorithm(1<<15, 3)))
+		b.ReportMetric(seq.Speedup(base), "seq4-speedup")
+		b.ReportMetric(repl.Speedup(base), "repl-speedup")
+		b.ReportMetric(adaptive.Speedup(base), "adaptive-speedup")
+	}
+}
+
+// BenchmarkExtensionMultiprogram measures the §3.4 multiprogrammed
+// configuration: private per-application tables vs one shared table.
+func BenchmarkExtensionMultiprogram(b *testing.B) {
+	mcf, _ := ulmt.WorkloadByName("Mcf")
+	parser, _ := ulmt.WorkloadByName("Parser")
+	mcfOps := mcf.Generate(ulmt.ScaleTiny)
+	parserOps := parser.Generate(ulmt.ScaleTiny)
+	for i := 0; i < b.N; i++ {
+		run := func(shared bool) core.MultiResults {
+			mc := core.MultiConfig{
+				Base:      core.DefaultConfig(),
+				Timeslice: 250_000,
+				Apps: []core.MultiApp{
+					{Name: "Mcf", Ops: mcfOps},
+					{Name: "Parser", Ops: parserOps},
+				},
+			}
+			if shared {
+				mc.Shared = prefetch.NewRepl(table.NewRepl(table.ReplParams(1<<15), ulmt.TableBase))
+			} else {
+				mc.Apps[0].ULMT = prefetch.NewRepl(table.NewRepl(table.ReplParams(1<<14), ulmt.TableBase))
+				mc.Apps[1].ULMT = prefetch.NewRepl(table.NewRepl(table.ReplParams(1<<14), ulmt.TableBase+(1<<32)))
+			}
+			res, err := core.RunMulti(mc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		}
+		priv := run(false)
+		shrd := run(true)
+		b.ReportMetric(float64(priv.TotalCycles), "private-tables-cycles")
+		b.ReportMetric(float64(shrd.TotalCycles), "shared-table-cycles")
+	}
+}
+
+// BenchmarkAblationMemProcCache varies the memory processor's L1
+// size: the software correlation table is only cheap to access
+// because the memory processor "transparently caches the table in
+// its cache" (§3.1) — shrink the cache and occupancy rises.
+func BenchmarkAblationMemProcCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, kb := range []int{8, 32, 128} {
+			cfg := ulmt.DefaultConfig()
+			cfg.MemProc.Cache.SizeBytes = kb << 10
+			cfg.ULMT = ulmt.NewReplAlgorithm(1<<15, 3)
+			r := ulmt.NewSystem(cfg).Run("Mcf", ablationOps())
+			b.ReportMetric(r.ULMT.AvgOccupancy(), fmt.Sprintf("occupancy-%dKB", kb))
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command predict runs the Fig 5 predictability methodology on one
+// workload or on a saved trace file: every algorithm observes the L2
+// miss stream without prefetching and is scored on how many misses it
+// predicts at successor levels 1-3.
+//
+// Usage:
+//
+//	predict -app Mcf -scale small
+//	predict -in mcf.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ulmt/internal/core"
+	"ulmt/internal/mem"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/report"
+	"ulmt/internal/table"
+	"ulmt/internal/trace"
+	"ulmt/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "Mcf", "workload name")
+	scaleFlag := flag.String("scale", "small", "tiny, small, medium, large")
+	in := flag.String("in", "", "score a saved trace file instead of a workload")
+	rows := flag.Int("rows", 1<<16, "table rows for the conflict-free predictors")
+	seed := flag.Uint64("seed", 1, "page-mapping seed")
+	flag.Parse()
+
+	var lines []mem.Line
+	label := *in
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		lines, err = trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		w, err := workload.ByName(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		scale, err := workload.ParseScale(*scaleFlag)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		lines = trace.L2Misses(w.Generate(scale), trace.Config{L1: cfg.L1, L2: cfg.L2, Seed: *seed})
+		label = fmt.Sprintf("%s (%s)", w.Name(), scale)
+	}
+	fmt.Printf("%s: %d L2 misses\n\n", label, len(lines))
+
+	const levels = 3
+	big := table.Params{NumRows: *rows, Assoc: 4, NumSucc: 4, NumLevels: levels}
+	preds := []prefetch.Predictor{
+		prefetch.NewSeqPredictor(1, levels),
+		prefetch.NewSeqPredictor(4, levels),
+		prefetch.NewBasePredictor(big),
+		prefetch.NewChainPredictor(big, levels),
+		prefetch.NewReplPredictor(big),
+		prefetch.NewCombinedPredictor("Seq4+Repl",
+			prefetch.NewSeqPredictor(4, levels), prefetch.NewReplPredictor(big)),
+	}
+
+	t := report.Table{
+		Title:  "Fraction of misses correctly predicted per successor level",
+		Header: []string{"Algorithm", "Level1", "Level2", "Level3"},
+	}
+	for _, p := range preds {
+		acc := prefetch.Accuracy(p, lines)
+		cells := []any{p.Name()}
+		for k := 0; k < levels; k++ {
+			if k < len(acc) {
+				cells = append(cells, report.Pct(acc[k]))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	t.Fprint(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

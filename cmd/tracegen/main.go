@@ -1,0 +1,126 @@
+// Command tracegen generates a workload's L2 miss trace, writes it
+// to a compact delta-varint file, and prints summary statistics:
+// footprint, miss counts, cold-miss and repeat-pair fractions — the
+// quantities that determine whether correlation prefetching can work
+// on the stream at all.
+//
+// Usage:
+//
+//	tracegen -app Mcf -scale small -o mcf.trc
+//	tracegen -in mcf.trc            # inspect an existing trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ulmt/internal/core"
+	"ulmt/internal/mem"
+	"ulmt/internal/trace"
+	"ulmt/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "Mcf", "workload name")
+	scaleFlag := flag.String("scale", "small", "tiny, small, medium, large")
+	out := flag.String("o", "", "write the miss trace to this file")
+	opsOut := flag.String("ops", "", "write the full op stream to this file (for cmd/replay)")
+	in := flag.String("in", "", "inspect an existing trace file instead of generating")
+	seed := flag.Uint64("seed", 1, "page-mapping seed")
+	flag.Parse()
+
+	var lines []mem.Line
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		lines, err = trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace %s: %d misses\n", *in, len(lines))
+	default:
+		w, err := workload.ByName(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		scale, err := workload.ParseScale(*scaleFlag)
+		if err != nil {
+			fatal(err)
+		}
+		ops := w.Generate(scale)
+		cfg := core.DefaultConfig()
+		lines = trace.L2Misses(ops, trace.Config{L1: cfg.L1, L2: cfg.L2, Seed: *seed})
+		fmt.Printf("%s (%s): %d ops -> %d L2 misses\n", w.Name(), scale, len(ops), len(lines))
+		if *opsOut != "" {
+			f, err := os.Create(*opsOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteOps(f, ops); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			st, _ := os.Stat(*opsOut)
+			fmt.Printf("wrote %s (%d bytes, %.2f bytes/op)\n", *opsOut, st.Size(), float64(st.Size())/float64(max(1, len(ops))))
+		}
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.Write(f, lines); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			st, _ := os.Stat(*out)
+			fmt.Printf("wrote %s (%d bytes, %.2f bytes/miss)\n",
+				*out, st.Size(), float64(st.Size())/float64(max(1, len(lines))))
+		}
+	}
+	if len(lines) == 0 {
+		return
+	}
+
+	// Stream character summary.
+	seen := make(map[mem.Line]struct{}, len(lines))
+	type pair struct{ a, b mem.Line }
+	pairs := make(map[pair]struct{}, len(lines))
+	cold, pairRepeat, sequential := 0, 0, 0
+	var prev mem.Line
+	for i, m := range lines {
+		if _, ok := seen[m]; !ok {
+			cold++
+			seen[m] = struct{}{}
+		}
+		if i > 0 {
+			if m == prev+1 || m == prev-1 {
+				sequential++
+			}
+			p := pair{prev, m}
+			if _, ok := pairs[p]; ok {
+				pairRepeat++
+			} else {
+				pairs[p] = struct{}{}
+			}
+		}
+		prev = m
+	}
+	n := float64(len(lines))
+	fmt.Printf("unique lines:      %d (%.1f%% cold misses)\n", len(seen), 100*float64(cold)/n)
+	fmt.Printf("sequential pairs:  %.1f%% (what a stride prefetcher can see)\n", 100*float64(sequential)/n)
+	fmt.Printf("repeating pairs:   %.1f%% (ceiling for level-1 pair-based prediction)\n", 100*float64(pairRepeat)/n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Custom: the paper's central flexibility claim (§3.3.3) is that the
+// prefetching algorithm is user code — "the prefetching algorithm
+// executed by the ULMT can be customized by the programmer on an
+// application basis". This example writes a custom ULMT algorithm
+// from scratch with the public API and races it against the stock
+// Replicated algorithm on Gap.
+//
+// The custom algorithm is a *region* correlator: it correlates at
+// 256-byte region granularity instead of 64-byte lines, and on a
+// miss prefetches the recorded successor regions' first two lines.
+// Region-level correlation trades precision for a table that is 4x
+// smaller and for resilience to small address jitter within a
+// region. Every table access is charged through the Sink, so the
+// response/occupancy economics are measured for the custom code just
+// like for the built-ins.
+package main
+
+import (
+	"fmt"
+
+	"ulmt"
+)
+
+// regionAlg is a user-written ULMT algorithm. It keeps its own
+// software table (map-backed here — the simulated cost is what the
+// Sink charges, not the Go representation) mapping a region to the
+// MRU two successor regions.
+type regionAlg struct {
+	succ      map[ulmt.Line][2]ulmt.Line
+	last      ulmt.Line
+	hasLast   bool
+	tableBase ulmt.Addr
+}
+
+const regionShift = 2 // 64B lines -> 256B regions
+
+func (a *regionAlg) region(l ulmt.Line) ulmt.Line { return l >> regionShift }
+
+// rowAddr places each region's row at a deterministic simulated
+// address so the memory processor's cache model sees real locality.
+func (a *regionAlg) rowAddr(r ulmt.Line) ulmt.Addr {
+	return a.tableBase + ulmt.Addr((uint64(r)%(1<<20))*16)
+}
+
+func (a *regionAlg) Name() string { return "RegionCorr" }
+
+func (a *regionAlg) Prefetch(m ulmt.Line, s ulmt.Sink, emit func(ulmt.Line)) {
+	s.Instr(8)
+	r := a.region(m)
+	s.Touch(a.rowAddr(r), 16, false)
+	if row, ok := a.succ[r]; ok {
+		for _, sr := range row {
+			if sr == 0 {
+				continue
+			}
+			// Prefetch the first two lines of the successor region.
+			base := sr << regionShift
+			emit(base)
+			emit(base + 1)
+			s.Instr(4)
+		}
+	}
+}
+
+func (a *regionAlg) Learn(m ulmt.Line, s ulmt.Sink) {
+	s.Instr(6)
+	r := a.region(m)
+	if a.hasLast && a.last != r {
+		row := a.succ[a.last]
+		if row[0] != r {
+			row[1] = row[0]
+			row[0] = r
+		}
+		a.succ[a.last] = row
+		s.Touch(a.rowAddr(a.last), 16, true)
+	}
+	a.last, a.hasLast = r, true
+}
+
+func main() {
+	app, err := ulmt.WorkloadByName("Gap")
+	if err != nil {
+		panic(err)
+	}
+	ops := app.Generate(ulmt.ScaleSmall)
+	base := ulmt.NewSystem(ulmt.DefaultConfig()).Run(app.Name(), ops)
+	rows := ulmt.SizeTableRows(ulmt.MissTrace(ops))
+
+	cfgRepl := ulmt.DefaultConfig()
+	cfgRepl.ULMT = ulmt.NewReplAlgorithm(rows, 3)
+	repl := ulmt.NewSystem(cfgRepl).Run(app.Name(), ops)
+
+	cfgCustom := ulmt.DefaultConfig()
+	cfgCustom.ULMT = &regionAlg{
+		succ:      make(map[ulmt.Line][2]ulmt.Line),
+		tableBase: ulmt.TableBase,
+	}
+	custom := ulmt.NewSystem(cfgCustom).Run(app.Name(), ops)
+
+	fmt.Printf("Gap, %d ops, %d original L2 misses\n\n", len(ops), base.DemandMissesToMemory)
+	line := func(name string, r ulmt.Results) {
+		fmt.Printf("%-12s speedup=%.3f coverage=%.2f response=%.0f occupancy=%.0f\n",
+			name, r.Speedup(base), r.Coverage(base), r.ULMT.AvgResponse(), r.ULMT.AvgOccupancy())
+	}
+	line("Repl", repl)
+	line("RegionCorr", custom)
+
+	fmt.Println("\nA custom Algorithm plugs into the same machine: the Sink charges")
+	fmt.Println("its table accesses through the memory processor's cache and the")
+	fmt.Println("shared DRAM banks, so its response/occupancy above are measured,")
+	fmt.Println("not estimated.")
+}

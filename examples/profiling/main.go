@@ -1,0 +1,111 @@
+// Profiling: the paper notes that beyond prefetching, "the ULMT can
+// also be used for profiling purposes. It can monitor the misses of
+// an application and infer higher-level information such as cache
+// performance, application access patterns, or page conflicts"
+// (§3.3.3). This example runs exactly that: a custom ULMT algorithm
+// that never prefetches, but builds a live profile of the L2 miss
+// stream — hot 4 KB pages, hot L2 cache sets (conflict detection),
+// and the sequential/irregular mix — while the application runs.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"ulmt"
+)
+
+// profiler is a non-prefetching ULMT algorithm: pure observation.
+type profiler struct {
+	pageMisses map[ulmt.Line]uint64 // 4 KB page -> miss count
+	setMisses  map[uint64]uint64    // L2 set index -> miss count
+	last       ulmt.Line
+	hasLast    bool
+	sequential uint64
+	total      uint64
+}
+
+func newProfiler() *profiler {
+	return &profiler{
+		pageMisses: make(map[ulmt.Line]uint64),
+		setMisses:  make(map[uint64]uint64),
+	}
+}
+
+func (p *profiler) Name() string { return "Profiler" }
+
+// Prefetch observes but emits nothing. The profile tables are
+// charged to the Sink like any ULMT data structure, so profiling has
+// a measured occupancy too.
+func (p *profiler) Prefetch(m ulmt.Line, s ulmt.Sink, emit func(ulmt.Line)) {
+	s.Instr(4)
+}
+
+func (p *profiler) Learn(m ulmt.Line, s ulmt.Sink) {
+	p.total++
+	page := m >> 6 // 64 lines of 64B = 4 KB
+	p.pageMisses[page]++
+	// 512 KB 4-way 64 B-line L2 has 2048 sets.
+	set := uint64(m) & 2047
+	p.setMisses[set]++
+	if p.hasLast && (m == p.last+1 || m == p.last-1) {
+		p.sequential++
+	}
+	p.last, p.hasLast = m, true
+	s.Instr(12)
+	s.Touch(ulmt.TableBase+ulmt.Addr((uint64(page)%(1<<18))*8), 8, true)
+	s.Touch(ulmt.TableBase+(1<<24)+ulmt.Addr(set*8), 8, true)
+}
+
+func main() {
+	app, err := ulmt.WorkloadByName("Sparse")
+	if err != nil {
+		panic(err)
+	}
+	ops := app.Generate(ulmt.ScaleSmall)
+
+	cfg := ulmt.DefaultConfig()
+	prof := newProfiler()
+	cfg.ULMT = prof
+	res := ulmt.NewSystem(cfg).Run(app.Name(), ops)
+
+	fmt.Printf("profiled %s: %d L2 misses observed by the ULMT (%d dropped on queue overflow)\n\n",
+		app.Name(), res.ULMT.MissesProcessed, res.ULMT.MissesDropped)
+
+	fmt.Printf("sequential-miss fraction: %.1f%%\n", 100*float64(prof.sequential)/float64(prof.total))
+	fmt.Printf("distinct pages touched by misses: %d\n\n", len(prof.pageMisses))
+
+	type kv struct {
+		k ulmt.Line
+		v uint64
+	}
+	pages := make([]kv, 0, len(prof.pageMisses))
+	for k, v := range prof.pageMisses {
+		pages = append(pages, kv{k, v})
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].v > pages[j].v })
+	fmt.Println("hottest pages (page number, misses):")
+	for i := 0; i < 5 && i < len(pages); i++ {
+		fmt.Printf("  page %#x  %d misses\n", uint64(pages[i].k), pages[i].v)
+	}
+
+	// Conflict detection: sets whose miss count is far above the
+	// mean indicate conflict misses — the paper proposes customizing
+	// the ULMT for "cache conflict detection and elimination", and
+	// names Sparse as the application that needs it.
+	mean := float64(prof.total) / 2048
+	var hot []kv
+	for s, v := range prof.setMisses {
+		if float64(v) > 8*mean {
+			hot = append(hot, kv{ulmt.Line(s), v})
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].v > hot[j].v })
+	fmt.Printf("\nL2 sets with >8x the mean miss rate (conflict suspects): %d\n", len(hot))
+	for i := 0; i < 5 && i < len(hot); i++ {
+		fmt.Printf("  set %4d  %d misses (%.0fx mean)\n",
+			uint64(hot[i].k), hot[i].v, float64(hot[i].v)/mean)
+	}
+	fmt.Printf("\nprofiler ULMT occupancy: %.0f cycles/miss — observation is cheap\n",
+		res.ULMT.AvgOccupancy())
+}

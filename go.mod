@@ -1,0 +1,3 @@
+module ulmt
+
+go 1.22

@@ -1,0 +1,156 @@
+// Package bus models the split-transaction main memory bus between
+// the main processor and the North Bridge chip: 8 bytes wide at
+// 400 MHz for 3.2 GB/s peak (paper Table 3).
+//
+// One bus beat (8 bytes) takes 4 main-processor cycles (1.6 GHz /
+// 400 MHz). A miss request occupies one address beat; a 64-byte line
+// transfer occupies 8 data beats. Because the bus is split
+// transaction, a request beat and the corresponding reply transfer
+// are arbitrated independently.
+//
+// Arbitration is two-level: demand traffic (miss requests, demand
+// replies) wins the bus over prefetch pushes and write-backs, FIFO
+// within each class. That matters because memory-side prefetching
+// adds one-way push traffic (§5.2); without priority, a convoy of
+// pushed lines would queue demand replies behind it and the
+// prefetcher could slow the processor down — the opposite of the
+// paper's measurements.
+//
+// The model therefore runs as an active component on the simulation
+// engine: callers enqueue transfers with a completion callback, and
+// the bus grants them in priority order.
+package bus
+
+import (
+	"ulmt/internal/sim"
+	"ulmt/internal/stats"
+)
+
+// Kind classifies a transfer for arbitration and for the Fig 11
+// utilization accounting.
+type Kind int
+
+const (
+	// Demand is a main-processor miss request or its reply: highest
+	// priority.
+	Demand Kind = iota
+	// Writeback is a dirty line heading to memory: yields to demand.
+	Writeback
+	// Prefetch is traffic that exists only because of prefetching
+	// (pushed lines, processor-side prefetch fills): lowest
+	// priority, and tracked separately for Fig 11.
+	Prefetch
+)
+
+// Config sets the timing of the bus.
+type Config struct {
+	// CyclesPerBeat is main-processor cycles per bus beat (1.6 GHz /
+	// 400 MHz = 4).
+	CyclesPerBeat sim.Cycle
+	// BeatsPerLine is beats needed to move one L2 line (64 B / 8 B = 8).
+	BeatsPerLine sim.Cycle
+	// RequestBeats is beats for an address/command packet.
+	RequestBeats sim.Cycle
+}
+
+// DefaultConfig matches Table 3.
+func DefaultConfig() Config {
+	return Config{CyclesPerBeat: 4, BeatsPerLine: 8, RequestBeats: 1}
+}
+
+type transfer struct {
+	dur    sim.Cycle
+	kind   Kind
+	onDone func(done sim.Cycle)
+}
+
+// Bus serializes transfers on a single shared medium with demand
+// priority.
+type Bus struct {
+	cfg       Config
+	eng       *sim.Engine
+	busyUntil sim.Cycle
+	highQ     []transfer // Demand
+	lowQ      []transfer // Writeback, Prefetch
+	granting  bool
+	st        stats.BusStats
+}
+
+// New builds an idle bus on the engine.
+func New(eng *sim.Engine, cfg Config) *Bus { return &Bus{cfg: cfg, eng: eng} }
+
+// TransferRequest enqueues an address/command packet; onDone fires
+// when its last beat crosses.
+func (b *Bus) TransferRequest(kind Kind, onDone func(done sim.Cycle)) {
+	b.enqueue(b.cfg.RequestBeats*b.cfg.CyclesPerBeat, kind, onDone)
+}
+
+// TransferLine enqueues a full line transfer; onDone fires when the
+// last beat lands.
+func (b *Bus) TransferLine(kind Kind, onDone func(done sim.Cycle)) {
+	b.enqueue(b.cfg.BeatsPerLine*b.cfg.CyclesPerBeat, kind, onDone)
+}
+
+func (b *Bus) enqueue(dur sim.Cycle, kind Kind, onDone func(sim.Cycle)) {
+	t := transfer{dur: dur, kind: kind, onDone: onDone}
+	if kind == Demand {
+		b.highQ = append(b.highQ, t)
+	} else {
+		b.lowQ = append(b.lowQ, t)
+	}
+	b.grant()
+}
+
+// grant starts the next transfer if the medium is free.
+func (b *Bus) grant() {
+	if b.granting {
+		return
+	}
+	now := b.eng.Now()
+	if b.busyUntil > now {
+		// A completion event is already scheduled; it will re-grant.
+		return
+	}
+	var t transfer
+	switch {
+	case len(b.highQ) > 0:
+		t = b.highQ[0]
+		b.highQ = b.highQ[1:]
+	case len(b.lowQ) > 0:
+		t = b.lowQ[0]
+		b.lowQ = b.lowQ[1:]
+	default:
+		return
+	}
+	b.granting = true
+	done := now + t.dur
+	b.busyUntil = done
+	b.st.BusyCycles += t.dur
+	if t.kind == Prefetch {
+		b.st.PrefetchCycles += t.dur
+	}
+	b.eng.At(done, func() {
+		if t.onDone != nil {
+			t.onDone(done)
+		}
+		b.grant()
+	})
+	b.granting = false
+}
+
+// LineCycles reports how long one line transfer occupies the bus.
+func (b *Bus) LineCycles() sim.Cycle { return b.cfg.BeatsPerLine * b.cfg.CyclesPerBeat }
+
+// Backlog reports queued-but-ungranted transfers (both classes),
+// a congestion signal for diagnostics.
+func (b *Bus) Backlog() int { return len(b.highQ) + len(b.lowQ) }
+
+// LowBacklog reports queued-but-ungranted low-priority transfers.
+// The memory controller uses it as back-pressure: it stops launching
+// prefetch pushes when the staging buffer is full, so stale pushes
+// pile up in queue 3 (and are dropped or cross-matched there) rather
+// than in an unbounded bus queue.
+func (b *Bus) LowBacklog() int { return len(b.lowQ) }
+
+// Stats returns the accumulated occupancy counters.
+func (b *Bus) Stats() stats.BusStats { return b.st }

@@ -1,0 +1,159 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ulmt/internal/sim"
+)
+
+func TestRequestAndLineTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, DefaultConfig())
+	var reqDone, lineDone sim.Cycle
+	b.TransferRequest(Demand, func(d sim.Cycle) { reqDone = d })
+	b.TransferLine(Demand, func(d sim.Cycle) { lineDone = d })
+	eng.Run()
+	if reqDone != 4 {
+		t.Errorf("request done at %d, want 4 (1 beat x 4 cycles)", reqDone)
+	}
+	if lineDone != 4+32 {
+		t.Errorf("line done at %d, want 36 (queued behind the request)", lineDone)
+	}
+	if b.LineCycles() != 32 {
+		t.Errorf("LineCycles = %d", b.LineCycles())
+	}
+}
+
+func TestBusSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, DefaultConfig())
+	var d1, d2 sim.Cycle
+	b.TransferLine(Demand, func(d sim.Cycle) { d1 = d })
+	b.TransferLine(Demand, func(d sim.Cycle) { d2 = d })
+	eng.Run()
+	if d2 != d1+32 {
+		t.Errorf("second transfer done at %d, want %d", d2, d1+32)
+	}
+}
+
+func TestDemandPriorityOverPrefetch(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, DefaultConfig())
+	var order []Kind
+	// Occupy the bus, then enqueue three prefetches and one demand:
+	// the demand must be granted before the waiting prefetches.
+	b.TransferLine(Demand, func(sim.Cycle) { order = append(order, Demand) })
+	for i := 0; i < 3; i++ {
+		b.TransferLine(Prefetch, func(sim.Cycle) { order = append(order, Prefetch) })
+	}
+	eng.At(5, func() {
+		b.TransferLine(Demand, func(sim.Cycle) { order = append(order, Demand) })
+	})
+	eng.Run()
+	if len(order) != 5 {
+		t.Fatalf("completions = %d", len(order))
+	}
+	if order[1] != Demand {
+		t.Errorf("late demand transfer was not prioritized: %v", order)
+	}
+}
+
+func TestWritebackYieldsToDemand(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, DefaultConfig())
+	var order []Kind
+	b.TransferLine(Writeback, func(sim.Cycle) { order = append(order, Writeback) })
+	b.TransferLine(Writeback, func(sim.Cycle) { order = append(order, Writeback) })
+	eng.At(1, func() {
+		b.TransferLine(Demand, func(sim.Cycle) { order = append(order, Demand) })
+	})
+	eng.Run()
+	if order[1] != Demand {
+		t.Errorf("demand did not preempt queued writebacks: %v", order)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, DefaultConfig())
+	b.TransferLine(Demand, nil)
+	b.TransferLine(Prefetch, nil)
+	b.TransferRequest(Prefetch, nil)
+	b.TransferLine(Writeback, nil)
+	eng.Run()
+	st := b.Stats()
+	if st.BusyCycles != 32+32+4+32 {
+		t.Errorf("busy = %d", st.BusyCycles)
+	}
+	if st.PrefetchCycles != 32+4 {
+		t.Errorf("prefetch busy = %d", st.PrefetchCycles)
+	}
+}
+
+func TestBacklogDrains(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, DefaultConfig())
+	for i := 0; i < 5; i++ {
+		b.TransferLine(Prefetch, nil)
+	}
+	if b.Backlog() != 4 { // one granted immediately
+		t.Errorf("backlog = %d, want 4", b.Backlog())
+	}
+	eng.Run()
+	if b.Backlog() != 0 {
+		t.Errorf("backlog after drain = %d", b.Backlog())
+	}
+}
+
+func TestCompletionsNeverOverlapProperty(t *testing.T) {
+	f := func(kinds []bool) bool {
+		eng := sim.NewEngine()
+		b := New(eng, DefaultConfig())
+		var dones []sim.Cycle
+		for _, pf := range kinds {
+			k := Demand
+			if pf {
+				k = Prefetch
+			}
+			b.TransferLine(k, func(d sim.Cycle) { dones = append(dones, d) })
+		}
+		eng.Run()
+		if len(dones) != len(kinds) {
+			return false
+		}
+		// Sorted completion times must be exactly 32 cycles apart:
+		// full serialization, no overlap, no gaps from time zero.
+		for i := 1; i < len(dones); i++ {
+			if dones[i]-dones[i-1] != 32 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusyEqualsSumOfTransfersProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		eng := sim.NewEngine()
+		b := New(eng, DefaultConfig())
+		var want sim.Cycle
+		for _, line := range ops {
+			if line {
+				b.TransferLine(Demand, nil)
+				want += 32
+			} else {
+				b.TransferRequest(Demand, nil)
+				want += 4
+			}
+		}
+		eng.Run()
+		return b.Stats().BusyCycles == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package cache
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+)
+
+func benchCache() *Cache {
+	return New(Config{SizeBytes: 512 << 10, Assoc: 4, Line: mem.LineSize64, MSHRs: 16, WBQDepth: 16})
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := benchCache()
+	for i := 0; i < 1024; i++ {
+		c.Fill(mem.Line(i), false, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(mem.Line(i%1024), false)
+	}
+}
+
+func BenchmarkFillEvict(b *testing.B) {
+	c := benchCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(mem.Line(i), i%7 == 0, false)
+		if i%16 == 0 {
+			for {
+				if _, ok := c.PopWB(); !ok {
+					break
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAcceptPush(b *testing.B) {
+	c := benchCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AcceptPush(mem.Line(i % (1 << 14)))
+	}
+}

@@ -1,0 +1,419 @@
+// Package cache implements the set-associative write-back caches of
+// the simulated machine: the main processor's L1 and L2 and the
+// memory processor's L1 (paper Table 3).
+//
+// The cache is a pure state machine — it owns tags, LRU state, MSHRs,
+// and the write-back queue, but no timing. The system model drives it
+// and converts its answers into latencies. That separation lets the
+// same implementation serve three different caches and makes the
+// structural behavior unit-testable without a running simulation.
+//
+// Beyond a textbook cache, it implements the L2-side support the
+// paper requires for push prefetching (§2.1):
+//
+//   - accepting lines the cache never requested, using a free MSHR;
+//   - letting an arriving prefetched line "steal" the MSHR of a
+//     pending demand miss to the same address and complete it;
+//   - dropping an arriving prefetched line when the line is already
+//     present, when it is sitting in the write-back queue, when all
+//     MSHRs are busy, or when every line in the target set is in
+//     transaction-pending state.
+package cache
+
+import (
+	"fmt"
+
+	"ulmt/internal/mem"
+)
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int
+	Assoc     int
+	Line      mem.LineSize
+	// MSHRs bounds outstanding misses (paper: "Pending ld, st: 8, 16"
+	// at the processor; the L2 uses its MSHR file for both demand
+	// misses and incoming pushes).
+	MSHRs int
+	// WBQDepth bounds the write-back queue.
+	WBQDepth int
+}
+
+// Validate checks the geometry is usable.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: size and associativity must be positive")
+	}
+	lineBytes := int(1) << c.Line.Shift()
+	if c.SizeBytes%(lineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by assoc*line %d", c.SizeBytes, lineBytes*c.Assoc)
+	}
+	sets := c.SizeBytes / (lineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache: need at least one MSHR")
+	}
+	return nil
+}
+
+type way struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	prefetch bool // brought by a prefetch and not yet referenced
+	lastUse  uint64
+	filledAt uint64 // access counter at fill, for diagnostics
+}
+
+// MSHR tracks one outstanding miss (or push) on this cache.
+type MSHR struct {
+	Line     mem.Line
+	valid    bool
+	Prefetch bool // allocated for a prefetch (processor-side or push)
+}
+
+// Stats counts structural cache events.
+type Stats struct {
+	Accesses             uint64
+	Misses               uint64
+	PrefetchHits         uint64 // demand hits on not-yet-referenced prefetched lines
+	Evictions            uint64
+	DirtyEvicts          uint64
+	PrefetchEvictsUnused uint64 // "Replaced" in Fig 9 terms
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	mshrs   []MSHR
+	wbq     []mem.Line
+	tick    uint64
+	st      Stats
+}
+
+// New builds an empty cache or panics on invalid geometry (a
+// construction-time programming error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lineBytes := 1 << cfg.Line.Shift()
+	nsets := cfg.SizeBytes / (lineBytes * cfg.Assoc)
+	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
+	c.sets = make([][]way, nsets)
+	backing := make([]way, nsets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	c.mshrs = make([]MSHR, cfg.MSHRs)
+	return c
+}
+
+// Config returns the geometry the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(l mem.Line) uint64 { return uint64(l) & c.setMask }
+
+// LookupResult describes the outcome of a demand access.
+type LookupResult struct {
+	Hit bool
+	// FirstPrefetchTouch is true when the hit line was installed by a
+	// prefetch and this is its first demand reference — the event
+	// Fig 9 counts as a prefetch Hit.
+	FirstPrefetchTouch bool
+}
+
+// Access performs a demand read or write lookup, updating LRU and the
+// dirty bit. It does not allocate on miss; the caller decides what a
+// miss means (MSHR merge, new request, etc.).
+func (c *Cache) Access(l mem.Line, write bool) LookupResult {
+	c.tick++
+	c.st.Accesses++
+	set := c.sets[c.setIndex(l)]
+	tag := uint64(l)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.lastUse = c.tick
+			if write {
+				w.dirty = true
+			}
+			res := LookupResult{Hit: true}
+			if w.prefetch {
+				w.prefetch = false
+				c.st.PrefetchHits++
+				res.FirstPrefetchTouch = true
+			}
+			return res
+		}
+	}
+	c.st.Misses++
+	return LookupResult{}
+}
+
+// Contains reports presence without touching LRU or stats.
+func (c *Cache) Contains(l mem.Line) bool {
+	set := c.sets[c.setIndex(l)]
+	tag := uint64(l)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// EvictInfo describes the line displaced by a fill.
+type EvictInfo struct {
+	Valid bool
+	Line  mem.Line
+	Dirty bool
+}
+
+// Fill installs line l, evicting the LRU way if needed. Dirty victims
+// are pushed to the write-back queue; if the queue is full the victim
+// is still reported so the caller can spill it synchronously.
+func (c *Cache) Fill(l mem.Line, dirty, prefetched bool) EvictInfo {
+	c.tick++
+	si := c.setIndex(l)
+	set := c.sets[si]
+	tag := uint64(l)
+	victim := -1
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			// Refill of a resident line: merge flags.
+			if dirty {
+				w.dirty = true
+			}
+			return EvictInfo{}
+		}
+		if !w.valid {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		oldest := uint64(1<<64 - 1)
+		for i := range set {
+			if set[i].lastUse < oldest {
+				oldest = set[i].lastUse
+				victim = i
+			}
+		}
+	}
+	w := &set[victim]
+	var ev EvictInfo
+	if w.valid {
+		ev = EvictInfo{Valid: true, Line: mem.Line(w.tag), Dirty: w.dirty}
+		c.st.Evictions++
+		if w.dirty {
+			c.st.DirtyEvicts++
+		}
+		if w.prefetch {
+			c.st.PrefetchEvictsUnused++
+		}
+		if w.dirty && len(c.wbq) < c.cfg.WBQDepth {
+			c.wbq = append(c.wbq, mem.Line(w.tag))
+		}
+	}
+	*w = way{tag: tag, valid: true, dirty: dirty, prefetch: prefetched, lastUse: c.tick, filledAt: c.tick}
+	return ev
+}
+
+// Invalidate drops a line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(l mem.Line) (wasDirty, present bool) {
+	set := c.sets[c.setIndex(l)]
+	tag := uint64(l)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			d := w.dirty
+			*w = way{}
+			return d, true
+		}
+	}
+	return false, false
+}
+
+// --- MSHR file ---
+
+// MSHRFor returns the index of the MSHR tracking line l, or -1.
+func (c *Cache) MSHRFor(l mem.Line) int {
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].Line == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// AllocMSHR reserves an MSHR for line l. ok is false when the file is
+// full. Allocating a second MSHR for the same line is a programming
+// error (callers must merge via MSHRFor first).
+func (c *Cache) AllocMSHR(l mem.Line, prefetch bool) (id int, ok bool) {
+	if c.MSHRFor(l) >= 0 {
+		panic("cache: duplicate MSHR allocation")
+	}
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid {
+			c.mshrs[i] = MSHR{Line: l, valid: true, Prefetch: prefetch}
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// MSHR returns the entry at id for inspection.
+func (c *Cache) MSHR(id int) MSHR { return c.mshrs[id] }
+
+// StealMSHR converts the MSHR of a pending demand miss into a
+// prefetch-satisfied one: the arriving pushed line "simply steals the
+// MSHR and updates the cache as if it were the reply" (§2.1). The
+// caller completes the demand miss with the push's data.
+func (c *Cache) StealMSHR(id int) {
+	if !c.mshrs[id].valid {
+		panic("cache: stealing free MSHR")
+	}
+	c.mshrs[id].valid = false
+}
+
+// FreeMSHR releases an entry when its fill completes.
+func (c *Cache) FreeMSHR(id int) {
+	if !c.mshrs[id].valid {
+		panic("cache: double free of MSHR")
+	}
+	c.mshrs[id].valid = false
+}
+
+// FreeMSHRs counts available entries.
+func (c *Cache) FreeMSHRs() int {
+	n := 0
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingInSet counts outstanding MSHRs whose line maps to the same
+// set as l — the model for "all the lines in the set where the
+// prefetched line wants to go are in transaction-pending state".
+func (c *Cache) PendingInSet(l mem.Line) int {
+	si := c.setIndex(l)
+	n := 0
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.setIndex(c.mshrs[i].Line) == si {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Write-back queue ---
+
+// WBContains reports whether line l is waiting to be written back.
+func (c *Cache) WBContains(l mem.Line) bool {
+	for _, e := range c.wbq {
+		if e == l {
+			return true
+		}
+	}
+	return false
+}
+
+// PopWB removes the oldest pending write-back.
+func (c *Cache) PopWB() (l mem.Line, ok bool) {
+	if len(c.wbq) == 0 {
+		return 0, false
+	}
+	l = c.wbq[0]
+	copy(c.wbq, c.wbq[1:])
+	c.wbq = c.wbq[:len(c.wbq)-1]
+	return l, true
+}
+
+// WBLen reports the write-back queue depth in use.
+func (c *Cache) WBLen() int { return len(c.wbq) }
+
+// --- Push acceptance (§2.1) ---
+
+// PushOutcome says what happened to a pushed (unsolicited) line
+// arriving at this cache.
+type PushOutcome int
+
+const (
+	// PushAccepted: the line was installed using a free MSHR slot.
+	PushAccepted PushOutcome = iota
+	// PushStolenMSHR: a demand miss for the line was pending; the
+	// push completes it (the caller must finish that miss).
+	PushStolenMSHR
+	// PushDropRedundant: the cache already has the line.
+	PushDropRedundant
+	// PushDropWriteback: the write-back queue holds the line.
+	PushDropWriteback
+	// PushDropNoMSHR: all MSHRs are busy.
+	PushDropNoMSHR
+	// PushDropPendingSet: every line in the target set is transaction
+	// pending.
+	PushDropPendingSet
+)
+
+// String names the outcome for logs and test failures.
+func (o PushOutcome) String() string {
+	switch o {
+	case PushAccepted:
+		return "accepted"
+	case PushStolenMSHR:
+		return "stole-mshr"
+	case PushDropRedundant:
+		return "drop-redundant"
+	case PushDropWriteback:
+		return "drop-writeback"
+	case PushDropNoMSHR:
+		return "drop-no-mshr"
+	case PushDropPendingSet:
+		return "drop-pending-set"
+	}
+	return "unknown"
+}
+
+// AcceptPush applies the paper's acceptance rules to an arriving
+// pushed line. On PushStolenMSHR it returns the stolen MSHR's index
+// so the caller can complete the pending demand miss; the line is
+// installed (not marked prefetch, since a demand wanted it). On
+// PushAccepted the line is installed marked as an unreferenced
+// prefetch. All other outcomes leave the cache unchanged.
+func (c *Cache) AcceptPush(l mem.Line) (PushOutcome, int) {
+	if id := c.MSHRFor(l); id >= 0 {
+		if c.mshrs[id].Prefetch {
+			// A prefetch for the same line is already outstanding on
+			// this cache; the push is redundant with it.
+			return PushDropRedundant, -1
+		}
+		c.StealMSHR(id)
+		c.Fill(l, false, false)
+		return PushStolenMSHR, id
+	}
+	if c.Contains(l) {
+		return PushDropRedundant, -1
+	}
+	if c.WBContains(l) {
+		return PushDropWriteback, -1
+	}
+	if c.FreeMSHRs() == 0 {
+		return PushDropNoMSHR, -1
+	}
+	if c.PendingInSet(l) >= c.cfg.Assoc {
+		return PushDropPendingSet, -1
+	}
+	c.Fill(l, false, true)
+	return PushAccepted, -1
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.st }

@@ -1,0 +1,329 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ulmt/internal/mem"
+)
+
+func tinyConfig() Config {
+	return Config{SizeBytes: 1024, Assoc: 2, Line: mem.LineSize64, MSHRs: 4, WBQDepth: 4}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := tinyConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, Assoc: 2, Line: mem.LineSize64, MSHRs: 1},
+		{SizeBytes: 1024, Assoc: 0, Line: mem.LineSize64, MSHRs: 1},
+		{SizeBytes: 1000, Assoc: 2, Line: mem.LineSize64, MSHRs: 1},       // not divisible
+		{SizeBytes: 64 * 2 * 3, Assoc: 2, Line: mem.LineSize64, MSHRs: 1}, // 3 sets
+		{SizeBytes: 1024, Assoc: 2, Line: mem.LineSize64, MSHRs: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestAccessMissThenFillHit(t *testing.T) {
+	c := New(tinyConfig())
+	if c.Access(5, false).Hit {
+		t.Error("empty cache must miss")
+	}
+	c.Fill(5, false, false)
+	if !c.Access(5, false).Hit {
+		t.Error("filled line must hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(tinyConfig()) // 8 sets, 2 ways
+	// Three lines in the same set (stride 8 = set count).
+	a, b, d := mem.Line(0), mem.Line(8), mem.Line(16)
+	c.Fill(a, false, false)
+	c.Fill(b, false, false)
+	c.Access(a, false) // a is now MRU
+	ev := c.Fill(d, false, false)
+	if !ev.Valid || ev.Line != b {
+		t.Errorf("evicted %+v, want line %v", ev, b)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Error("wrong set contents after eviction")
+	}
+}
+
+func TestDirtyEvictionGoesToWBQ(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(0, false, false)
+	c.Access(0, true) // dirty it
+	c.Fill(8, false, false)
+	c.Fill(16, false, false) // evicts line 0 (dirty)
+	if !c.WBContains(0) {
+		t.Fatal("dirty victim must be queued for write-back")
+	}
+	l, ok := c.PopWB()
+	if !ok || l != 0 {
+		t.Fatalf("PopWB = %v %v", l, ok)
+	}
+	if c.WBLen() != 0 {
+		t.Error("WBQ should be empty")
+	}
+	if _, ok := c.PopWB(); ok {
+		t.Error("PopWB on empty should fail")
+	}
+}
+
+func TestRefillMergesDirty(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(3, false, false)
+	ev := c.Fill(3, true, false)
+	if ev.Valid {
+		t.Error("refill must not evict")
+	}
+	c.Fill(11, false, false)
+	c.Fill(19, false, false) // line 3 evicted
+	if st := c.Stats(); st.DirtyEvicts != 1 {
+		t.Errorf("dirty evicts = %d, want 1 (refill merged the dirty bit)", st.DirtyEvicts)
+	}
+}
+
+func TestPrefetchFlagLifecycle(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(1, false, true)
+	res := c.Access(1, false)
+	if !res.Hit || !res.FirstPrefetchTouch {
+		t.Fatalf("first touch = %+v", res)
+	}
+	res = c.Access(1, false)
+	if res.FirstPrefetchTouch {
+		t.Error("second touch must not count as prefetch hit again")
+	}
+	if c.Stats().PrefetchHits != 1 {
+		t.Errorf("prefetch hits = %d", c.Stats().PrefetchHits)
+	}
+}
+
+func TestPrefetchEvictUnusedCounted(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(0, false, true)
+	c.Fill(8, false, false)
+	c.Fill(16, false, false) // evicts unreferenced prefetch
+	if c.Stats().PrefetchEvictsUnused != 1 {
+		t.Errorf("Replaced count = %d", c.Stats().PrefetchEvictsUnused)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(9, true, false)
+	dirty, present := c.Invalidate(9)
+	if !present || !dirty {
+		t.Errorf("invalidate = %v %v", dirty, present)
+	}
+	if c.Contains(9) {
+		t.Error("line still present after invalidate")
+	}
+	if _, present := c.Invalidate(9); present {
+		t.Error("double invalidate should report absent")
+	}
+}
+
+func TestMSHRLifecycle(t *testing.T) {
+	c := New(tinyConfig())
+	id, ok := c.AllocMSHR(7, false)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if c.MSHRFor(7) != id {
+		t.Error("MSHRFor did not find the entry")
+	}
+	if c.FreeMSHRs() != 3 {
+		t.Errorf("free = %d", c.FreeMSHRs())
+	}
+	c.FreeMSHR(id)
+	if c.MSHRFor(7) != -1 {
+		t.Error("freed MSHR still found")
+	}
+	// Exhaustion.
+	for i := 0; i < 4; i++ {
+		if _, ok := c.AllocMSHR(mem.Line(100+i), false); !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+	}
+	if _, ok := c.AllocMSHR(200, false); ok {
+		t.Error("alloc beyond capacity should fail")
+	}
+}
+
+func TestMSHRDuplicatePanics(t *testing.T) {
+	c := New(tinyConfig())
+	c.AllocMSHR(7, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate MSHR alloc should panic")
+		}
+	}()
+	c.AllocMSHR(7, false)
+}
+
+func TestPendingInSet(t *testing.T) {
+	c := New(tinyConfig()) // 8 sets
+	c.AllocMSHR(0, false)
+	c.AllocMSHR(8, false) // same set
+	c.AllocMSHR(1, false) // different set
+	if got := c.PendingInSet(16); got != 2 {
+		t.Errorf("PendingInSet = %d, want 2", got)
+	}
+}
+
+// --- Push acceptance rules (paper §2.1) ---
+
+func TestPushAccepted(t *testing.T) {
+	c := New(tinyConfig())
+	out, id := c.AcceptPush(5)
+	if out != PushAccepted || id != -1 {
+		t.Fatalf("outcome = %v, %d", out, id)
+	}
+	if !c.Contains(5) {
+		t.Error("accepted push must install the line")
+	}
+	if !c.Access(5, false).FirstPrefetchTouch {
+		t.Error("accepted push must be marked as unreferenced prefetch")
+	}
+}
+
+func TestPushStealsMSHR(t *testing.T) {
+	c := New(tinyConfig())
+	id, _ := c.AllocMSHR(5, false) // pending demand miss
+	out, stolen := c.AcceptPush(5)
+	if out != PushStolenMSHR || stolen != id {
+		t.Fatalf("outcome = %v, stolen = %d (want %d)", out, stolen, id)
+	}
+	if c.MSHRFor(5) != -1 {
+		t.Error("MSHR must be released by the steal")
+	}
+	if !c.Contains(5) {
+		t.Error("line must be installed")
+	}
+	if c.Access(5, false).FirstPrefetchTouch {
+		t.Error("a stolen-MSHR fill is demand data, not an unreferenced prefetch")
+	}
+}
+
+func TestPushDropRedundantInFlightPrefetch(t *testing.T) {
+	c := New(tinyConfig())
+	c.AllocMSHR(5, true) // an in-flight prefetch for the same line
+	out, _ := c.AcceptPush(5)
+	if out != PushDropRedundant {
+		t.Fatalf("outcome = %v, want redundant", out)
+	}
+}
+
+func TestPushDropRedundantPresent(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(5, false, false)
+	out, _ := c.AcceptPush(5)
+	if out != PushDropRedundant {
+		t.Fatalf("outcome = %v", out)
+	}
+}
+
+func TestPushDropWriteback(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(0, true, false)
+	c.Fill(8, false, false)
+	c.Fill(16, false, false) // dirty 0 into WBQ
+	out, _ := c.AcceptPush(0)
+	if out != PushDropWriteback {
+		t.Fatalf("outcome = %v", out)
+	}
+}
+
+func TestPushDropNoMSHR(t *testing.T) {
+	c := New(tinyConfig())
+	for i := 0; i < 4; i++ {
+		c.AllocMSHR(mem.Line(100+i), false)
+	}
+	out, _ := c.AcceptPush(5)
+	if out != PushDropNoMSHR {
+		t.Fatalf("outcome = %v", out)
+	}
+}
+
+func TestPushDropPendingSet(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MSHRs = 8
+	c := New(cfg) // 8 sets, 2 ways
+	// Two pending misses mapping to set 5: the whole set is
+	// transaction pending.
+	c.AllocMSHR(5, false)
+	c.AllocMSHR(13, false)
+	out, _ := c.AcceptPush(21) // also set 5
+	if out != PushDropPendingSet {
+		t.Fatalf("outcome = %v", out)
+	}
+}
+
+func TestPushOutcomeStrings(t *testing.T) {
+	outs := []PushOutcome{PushAccepted, PushStolenMSHR, PushDropRedundant,
+		PushDropWriteback, PushDropNoMSHR, PushDropPendingSet, PushOutcome(99)}
+	seen := map[string]bool{}
+	for _, o := range outs {
+		s := o.String()
+		if s == "" || seen[s] {
+			t.Errorf("outcome %d has bad/duplicate string %q", o, s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestCacheNeverExceedsCapacityProperty checks a structural
+// invariant: after any sequence of fills and accesses, each set holds
+// at most Assoc valid distinct lines, and Contains agrees with
+// Access hits.
+func TestCacheNeverExceedsCapacityProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New(tinyConfig())
+		resident := map[mem.Line]bool{}
+		for _, op := range ops {
+			l := mem.Line(op % 64)
+			switch op % 3 {
+			case 0:
+				c.Fill(l, op%5 == 0, op%7 == 0)
+				resident[l] = true
+			case 1:
+				hit := c.Access(l, false).Hit
+				if hit && !resident[l] {
+					return false // hit on a line never filled
+				}
+			case 2:
+				c.Invalidate(l)
+				delete(resident, l)
+			}
+		}
+		// Count distinct resident lines per set.
+		counts := map[uint64]int{}
+		for l := range resident {
+			if c.Contains(l) {
+				counts[uint64(l)&7]++
+			}
+		}
+		for _, n := range counts {
+			if n > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

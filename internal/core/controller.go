@@ -1,0 +1,333 @@
+package core
+
+import (
+	"ulmt/internal/bus"
+	"ulmt/internal/cache"
+	"ulmt/internal/cpu"
+	"ulmt/internal/mem"
+	"ulmt/internal/queue"
+	"ulmt/internal/sim"
+)
+
+// arriveController deposits a miss request at the memory controller:
+// into queue 1 (to DRAM) and queue 2 (to the ULMT), applying the
+// cross-match against waiting prefetches in queue 3 (paper §3.2).
+func (s *System) arriveController(pm *l2Miss) {
+	now := s.eng.Now()
+	if pm.prefetch {
+		s.prefReqsToMem++
+	} else {
+		s.demandMisses++
+		if s.sawMiss {
+			s.missDist.Add(int64(now - s.lastMissAt))
+		}
+		s.sawMiss = true
+		s.lastMissAt = now
+		// The active thread's progress signal.
+		s.activeCredit(pm.line)
+		// The hardwired memory-side stride engine, if fitted,
+		// reacts instantly (it is a controller circuit, not a
+		// thread).
+		if s.cfg.DASP != nil {
+			if lines := s.cfg.DASP.OnMiss(pm.line); len(lines) > 0 {
+				s.depositPrefetches(lines)
+			}
+		}
+	}
+
+	// A miss about to enter queues 1 and 2 that matches a waiting
+	// prefetch removes the prefetch and enters queue 1 only.
+	matchedQ3 := false
+	if !s.cfg.DisableCrossMatch {
+		if _, ok := s.q3.RemoveLine(pm.line); ok {
+			matchedQ3 = true
+			s.xMatchDemand++
+		}
+	}
+
+	if !s.q1.Push(queue.Entry{Line: pm.line, Prefetch: pm.prefetch, At: now}) {
+		// Queue 1 full: the request waits at the bus interface and
+		// retries. (Depth 16 makes this rare.)
+		s.eng.After(4, func() { s.arriveController(pm) })
+		return
+	}
+
+	if s.mp != nil && !matchedQ3 && (s.cfg.Verbose || !pm.prefetch) {
+		if s.q2.Push(queue.Entry{Line: pm.line, Prefetch: pm.prefetch, At: now}) {
+			s.pumpULMT()
+		} else {
+			s.mp.DropObservation()
+		}
+	}
+	s.pumpMemory()
+}
+
+// pumpMemory is the controller's issue port: one request at a time,
+// queue 1 before queue 3 before write-backs, re-armed after each
+// issue slot.
+func (s *System) pumpMemory() {
+	if s.issueBusy {
+		return
+	}
+	now := s.eng.Now()
+	if e, ok := s.q1.Pop(); ok {
+		pm := s.pendingL2[e.Line]
+		if pm == nil || pm.satisfied || pm.completed {
+			// Satisfied early by a push; nothing to fetch.
+			s.rearm(now + 1)
+			return
+		}
+		s.issueBusy = true
+		s.eng.At(now+s.cfg.IssuePortBusy, func() {
+			s.issueBusy = false
+			s.issueDemand(pm)
+			s.pumpMemory()
+		})
+		return
+	}
+	// Write-backs normally yield to prefetches, but a controller
+	// cannot defer them forever: past the high-water mark they win
+	// arbitration, like a real write buffer forcing drains.
+	const wbHighWater = 16
+	if len(s.wbOut) > wbHighWater {
+		s.issueWBSlot(now)
+		return
+	}
+	// Launch a prefetch only when the outgoing staging buffer has
+	// room: the push path is flow-controlled, so congestion backs up
+	// into the finite queue 3 instead of an unbounded transfer list.
+	if s.fsb.LowBacklog() < 8 {
+		if e, ok := s.q3.Pop(); ok {
+			s.issueBusy = true
+			s.eng.At(now+s.cfg.IssuePortBusy, func() {
+				s.issueBusy = false
+				s.issuePush(e.Line)
+				s.pumpMemory()
+			})
+			return
+		}
+	}
+	if len(s.wbOut) > 0 {
+		s.issueWBSlot(now)
+		return
+	}
+}
+
+// issueWBSlot claims the issue port for the oldest pending
+// write-back.
+func (s *System) issueWBSlot(now sim.Cycle) {
+	l := s.wbOut[0]
+	s.wbOut = s.wbOut[1:]
+	s.issueBusy = true
+	s.eng.At(now+s.cfg.IssuePortBusy, func() {
+		s.issueBusy = false
+		s.issueWriteback(l)
+		s.pumpMemory()
+	})
+}
+
+func (s *System) rearm(at sim.Cycle) {
+	s.issueBusy = true
+	s.eng.At(at, func() {
+		s.issueBusy = false
+		s.pumpMemory()
+	})
+}
+
+// issueDemand performs the DRAM access for a demand (or
+// processor-side prefetch) miss and returns the line over the bus.
+func (s *System) issueDemand(pm *l2Miss) {
+	now := s.eng.Now()
+	bankStart, rowHit := s.ram.Access(now, pm.line)
+	lat := s.cfg.DRAMRowMissLat
+	if rowHit {
+		lat = s.cfg.DRAMRowHitLat
+	}
+	dataReady := bankStart + lat
+	kind := bus.Demand
+	if pm.prefetch {
+		kind = bus.Prefetch
+	}
+	s.eng.At(dataReady, func() {
+		s.fsb.TransferLine(kind, func(sim.Cycle) { s.replyArrives(pm) })
+	})
+}
+
+// replyArrives lands a memory reply at the L2.
+func (s *System) replyArrives(pm *l2Miss) {
+	if pm.satisfied || pm.completed {
+		return // a push already completed this miss
+	}
+	lvl := cpu.LevelMem
+	if !pm.prefetch {
+		s.outcomes.NonPrefMisses++
+	} else {
+		// Processor-side prefetch requests that reach memory are
+		// lumped into NonPrefMisses in Fig 9 (§5.2).
+		s.outcomes.NonPrefMisses++
+	}
+	s.completeL2(pm, lvl, false)
+	s.pumpMemory()
+}
+
+// issuePush performs the DRAM access for a ULMT prefetch and pushes
+// the line toward the L2. From the North Bridge the request pays the
+// extra hop to the DRAM array (Table 3: 25 cycles).
+func (s *System) issuePush(line mem.Line) {
+	now := s.eng.Now()
+	if s.mp != nil {
+		// ULMT prefetches pay the location-dependent hop to the
+		// DRAM array; a hardwired controller engine (DASP) does not.
+		now += s.mp.PrefetchIssueDelay()
+	}
+	bankStart, rowHit := s.ram.Access(now, line)
+	lat := s.cfg.DRAMRowMissLat
+	if rowHit {
+		lat = s.cfg.DRAMRowHitLat
+	}
+	dataReady := bankStart + lat
+	s.eng.At(dataReady, func() { s.pushAtController(line) })
+}
+
+// pushAtController is the moment a prefetched line's data reaches the
+// memory controller on its way out. If a matching demand request is
+// still waiting in queue 1, the push becomes its reply and the demand
+// is never sent to the DRAM (paper Fig 3-(b) discussion).
+func (s *System) pushAtController(line mem.Line) {
+	if _, ok := s.q1.RemoveLine(line); ok {
+		if pm := s.pendingL2[line]; pm != nil && !pm.completed {
+			s.outcomes.DelayedHits++
+			s.fsb.TransferLine(bus.Demand, func(sim.Cycle) {
+				if !pm.completed {
+					s.completeL2(pm, cpu.LevelMem, true)
+				}
+				s.pumpMemory()
+			})
+			return
+		}
+	}
+	s.fsb.TransferLine(bus.Prefetch, func(sim.Cycle) { s.pushArrivesAtL2(line) })
+}
+
+// pushArrivesAtL2 applies the paper's §2.1 acceptance rules.
+func (s *System) pushArrivesAtL2(line mem.Line) {
+	s.pushesToL2++
+	if s.cfg.DropPushes {
+		s.outcomes.Redundant++
+		return
+	}
+	// Steal-the-MSHR case first: complete the pending demand miss.
+	if pm := s.pendingL2[line]; pm != nil && !pm.completed && !pm.prefetch {
+		s.outcomes.DelayedHits++
+		s.l2.StealMSHR(pm.mshrID)
+		pm.satisfied = true
+		s.completeL2(pm, cpu.LevelMem, true)
+		return
+	}
+	outcome, _ := s.l2.AcceptPush(line)
+	switch outcome {
+	case cache.PushAccepted:
+		s.drainL2Victims()
+		// Installed as an unreferenced prefetched line; its MSHR
+		// slot is released immediately (the fill is instantaneous at
+		// this boundary of the model).
+	case cache.PushStolenMSHR:
+		// Handled above via pendingL2; reaching here means an MSHR
+		// existed without a pending record (a processor-side
+		// prefetch in flight): treat as a delayed hit for it.
+		s.outcomes.DelayedHits++
+	case cache.PushDropRedundant:
+		s.outcomes.Redundant++
+	case cache.PushDropWriteback:
+		s.outcomes.Redundant++
+		s.outcomes.DroppedWritebackHit++
+	case cache.PushDropNoMSHR:
+		s.outcomes.Redundant++
+		s.outcomes.DroppedNoMSHR++
+	case cache.PushDropPendingSet:
+		s.outcomes.Redundant++
+		s.outcomes.DroppedPendingSet++
+	}
+	s.pumpMemory()
+}
+
+// issueWriteback retires one dirty L2 victim: the line crosses the
+// bus to the controller and is written into its DRAM bank. No reply.
+func (s *System) issueWriteback(line mem.Line) {
+	s.fsb.TransferLine(bus.Writeback, func(sim.Cycle) {
+		s.ram.Access(s.eng.Now(), line)
+		s.pumpMemory()
+	})
+}
+
+// pumpULMT runs the memory thread's infinite loop (paper Fig 2): pop
+// an observed miss from queue 2, run the prefetching step, deposit
+// the generated addresses, run the learning step, repeat.
+func (s *System) pumpULMT() {
+	if s.ulmtBusy || s.mp == nil || s.ulmt == nil {
+		return
+	}
+	e, ok := s.q2.Pop()
+	if !ok {
+		return
+	}
+	s.ulmtBusy = true
+	now := s.eng.Now()
+	ses := s.mp.Begin(now)
+	var emits []mem.Line
+
+	collect := func(l mem.Line) {
+		if l != e.Line {
+			emits = append(emits, l)
+		}
+	}
+	if s.cfg.LearnFirst {
+		// Ablation: naive ordering. Response spans both steps.
+		s.ulmt.Learn(e.Line, ses)
+		s.ulmt.Prefetch(e.Line, ses, collect)
+		ses.MarkResponse()
+	} else {
+		s.ulmt.Prefetch(e.Line, ses, collect)
+		ses.MarkResponse()
+		s.ulmt.Learn(e.Line, ses)
+	}
+
+	respAt := now + ses.Response()
+	occAt := now + ses.Elapsed()
+	s.mp.Finish(ses)
+
+	if len(emits) > 0 {
+		s.eng.At(respAt, func() { s.depositPrefetches(emits) })
+	}
+	s.eng.At(occAt, func() {
+		s.ulmtBusy = false
+		s.pumpULMT()
+	})
+}
+
+// depositPrefetches runs each generated address through the Filter
+// module and the queue-3 cross-match before queueing it for the DRAM.
+func (s *System) depositPrefetches(lines []mem.Line) {
+	for _, l := range lines {
+		if !s.filter.Admit(l) {
+			continue
+		}
+		if !s.cfg.DisableCrossMatch {
+			// A prefetch matching a pending miss is redundant: a
+			// higher-priority request is already in queue 1. It is
+			// removed from queue 2 as well to save ULMT occupancy.
+			if s.q1.ContainsLine(l) || s.q2.ContainsLine(l) {
+				s.q2.RemoveLine(l)
+				s.xMatchPush++
+				continue
+			}
+		}
+		if s.q3.ContainsLine(l) {
+			continue // already queued by an earlier miss
+		}
+		if !s.q3.Push(queue.Entry{Line: l, Prefetch: true, At: s.eng.Now()}) {
+			s.q3Drops++
+		}
+	}
+	s.pumpMemory()
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"ulmt/internal/prefetch"
+)
+
+// TestDASPNarrowScope reproduces the paper's motivation for a
+// general-purpose memory thread: a hardwired memory-side stride
+// engine (like NVIDIA's DASP, related work [22]) helps sequential
+// miss streams and does nothing for pointer chases, while the ULMT
+// covers both.
+func TestDASPNarrowScope(t *testing.T) {
+	mkCfg := func() Config {
+		cfg := DefaultConfig()
+		cfg.LinearPages = true
+		return cfg
+	}
+
+	// Sequential walk: DASP should push usefully.
+	seqStream := seqOps(16384, 1)
+	daspCfg := mkCfg()
+	daspCfg.DASP = prefetch.NewConven(4, 6)
+	daspSeq := NewSystem(daspCfg).Run("seq", seqStream)
+	if daspSeq.PushesToL2 == 0 {
+		t.Fatal("DASP pushed nothing on a sequential stream")
+	}
+
+	// Scattered pointer chase: DASP must stay silent.
+	chase := chaseOps(16384, 2)
+	baseChase := NewSystem(mkCfg()).Run("chase", chase)
+	daspCfg2 := mkCfg()
+	daspCfg2.DASP = prefetch.NewConven(4, 6)
+	daspChase := NewSystem(daspCfg2).Run("chase", chase)
+	if daspChase.PushesToL2 > baseChase.DemandMissesToMemory/100 {
+		t.Errorf("DASP pushed %d lines on a pointer chase", daspChase.PushesToL2)
+	}
+	if sp := daspChase.Speedup(baseChase); sp < 0.99 || sp > 1.01 {
+		t.Errorf("DASP on a chase should be inert, got %.3f", sp)
+	}
+}

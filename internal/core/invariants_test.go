@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ulmt/internal/mem"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/table"
+	"ulmt/internal/workload"
+)
+
+// randomOps synthesizes an arbitrary-but-valid op stream from fuzz
+// bytes: a mix of loads (some dependent), stores and compute over a
+// multi-megabyte region.
+func randomOps(seed []byte) []workload.Op {
+	b := workload.NewBuilder()
+	region := b.Alloc(4 << 20)
+	state := uint64(1)
+	for _, by := range seed {
+		state = state*6364136223846793005 + uint64(by) + 1
+		addr := region + mem.Addr((state>>8)%(4<<20))
+		switch by % 5 {
+		case 0:
+			b.Load(addr)
+		case 1:
+			b.LoadDep(addr)
+		case 2:
+			b.Store(addr)
+		case 3:
+			b.Work(int(by) + 1)
+		case 4:
+			// A small sequential burst.
+			for i := 0; i < int(by%8)+1; i++ {
+				b.Load(addr + mem.Addr(i*32))
+			}
+		}
+	}
+	// Guarantee at least one op.
+	b.Load(region)
+	return b.Ops()
+}
+
+// TestSystemInvariantsUnderRandomStreams drives the full machine with
+// arbitrary streams and checks conservation properties that must hold
+// regardless of input:
+//
+//   - every op retires;
+//   - the execution-time breakdown tiles the run exactly;
+//   - prefetch outcomes never exceed the lines pushed;
+//   - identical runs are bit-identical (determinism).
+func TestSystemInvariantsUnderRandomStreams(t *testing.T) {
+	f := func(seed []byte) bool {
+		if len(seed) > 2000 {
+			seed = seed[:2000]
+		}
+		ops := randomOps(seed)
+		mk := func() Config {
+			cfg := DefaultConfig()
+			cfg.Seed = 7
+			cfg.ULMT = prefetch.NewRepl(table.NewRepl(table.ReplParams(1<<12), TableBase))
+			cfg.Conven = prefetch.NewConven(4, 6)
+			return cfg
+		}
+		a := NewSystem(mk()).Run("fuzz", ops)
+		if a.OpsRetired != uint64(len(ops)) {
+			t.Logf("retired %d of %d", a.OpsRetired, len(ops))
+			return false
+		}
+		if a.Exec.Total() != a.Cycles {
+			t.Logf("breakdown %d != cycles %d", a.Exec.Total(), a.Cycles)
+			return false
+		}
+		o := a.Outcomes
+		if o.Hits+o.Replaced+o.Redundant > a.PushesToL2+o.Hits {
+			// Hits can also come from processor-side prefetches
+			// hitting pushed lines, hence the slack term.
+			t.Logf("outcome conservation violated: %+v pushes=%d", o, a.PushesToL2)
+			return false
+		}
+		b := NewSystem(mk()).Run("fuzz", ops)
+		if b.Cycles != a.Cycles || b.Outcomes != a.Outcomes {
+			t.Logf("nondeterministic: %d vs %d", a.Cycles, b.Cycles)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSystemInvariantsAllConfigs runs one fixed stream through every
+// named configuration, checking the same conservation rules.
+func TestSystemInvariantsAllConfigs(t *testing.T) {
+	ops := randomOps([]byte("the quick brown fox jumps over the lazy dog, repeatedly and at length, to generate a stream"))
+	configs := []func() Config{
+		func() Config { return DefaultConfig() },
+		func() Config {
+			cfg := DefaultConfig()
+			cfg.Conven = prefetch.NewConven(4, 6)
+			return cfg
+		},
+		func() Config {
+			cfg := DefaultConfig()
+			cfg.ULMT = prefetch.NewBase(table.NewBase(table.BaseParams(1<<10), TableBase))
+			return cfg
+		},
+		func() Config {
+			cfg := DefaultConfig()
+			cfg.ULMT = prefetch.NewChain(table.NewBase(table.ChainParams(1<<10), TableBase), 3)
+			return cfg
+		},
+		func() Config {
+			cfg := DefaultConfig()
+			cfg.ULMT = prefetch.NewSeq(4, 6, TableBase)
+			return cfg
+		},
+		func() Config {
+			cfg := DefaultConfig()
+			cfg.DASP = prefetch.NewConven(4, 6)
+			return cfg
+		},
+		func() Config {
+			cfg := DefaultConfig()
+			cfg.Active = &ActiveConfig{Slice: BuildSlice(ops, false, 0, mem.LineSize64)}
+			return cfg
+		},
+	}
+	for i, mk := range configs {
+		r := NewSystem(mk()).Run("fixed", ops)
+		if r.OpsRetired != uint64(len(ops)) {
+			t.Errorf("config %d: retired %d of %d", i, r.OpsRetired, len(ops))
+		}
+		if r.Exec.Total() != r.Cycles {
+			t.Errorf("config %d: breakdown mismatch", i)
+		}
+	}
+}

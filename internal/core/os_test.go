@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/table"
+	"ulmt/internal/workload"
+)
+
+func TestScheduleRemapRelocatesTableRows(t *testing.T) {
+	// A repeating scattered chase over a 1 MB region (so the L2
+	// keeps missing and the table learns), then an OS remap of one
+	// of its pages mid-run.
+	ops := chaseOps(16384, 3)
+	var firstAddr mem.Addr
+	for _, op := range ops {
+		if op.Kind == workload.Load {
+			firstAddr = op.Addr
+			break
+		}
+	}
+
+	cfg := DefaultConfig()
+	cfg.Seed = 3 // scattered paging, so a remap moves the frame
+	tbl := table.NewRepl(table.ReplParams(1<<15), TableBase)
+	cfg.ULMT = prefetch.NewRepl(tbl)
+	sys := NewSystem(cfg)
+	sys.ScheduleRemap(500000, firstAddr)
+	r := sys.Run("remap", ops)
+
+	events, moved := sys.RemapsHandled()
+	if events != 1 {
+		t.Fatalf("remaps handled = %d", events)
+	}
+	if moved == 0 {
+		t.Error("no table rows relocated; the page's lines should have rows")
+	}
+	if r.OpsRetired != uint64(len(ops)) {
+		t.Error("run did not complete after remap")
+	}
+	// Prefetching must keep working after the move (the table
+	// relearns/relocated rows serve the new physical lines).
+	if r.Outcomes.Hits == 0 {
+		t.Error("no prefetch hits at all in a repeating chase")
+	}
+}
+
+func TestScheduleRemapWithoutULMTIsHarmless(t *testing.T) {
+	b := workload.NewBuilder()
+	base := b.Alloc(mem.PageSize4K)
+	for i := 0; i < 2000; i++ {
+		b.Load(base + mem.Addr((i%64)*64))
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	sys := NewSystem(cfg)
+	sys.ScheduleRemap(1000, base)
+	r := sys.Run("remap", b.Ops())
+	if r.OpsRetired == 0 {
+		t.Fatal("run failed")
+	}
+	if ev, _ := sys.RemapsHandled(); ev != 0 {
+		t.Error("remap counted without a ULMT")
+	}
+}

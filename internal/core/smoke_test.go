@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/table"
+	"ulmt/internal/workload"
+)
+
+// TableBase is where experiments place correlation tables in the
+// simulated physical address space: far above any application frame.
+const TableBase mem.Addr = 1 << 44
+
+func smokeOps(t *testing.T, name string) []workload.Op {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Generate(workload.ScaleTiny)
+}
+
+func TestSmokeNoPref(t *testing.T) {
+	ops := smokeOps(t, "Mcf")
+	cfg := DefaultConfig()
+	sys := NewSystem(cfg)
+	r := sys.Run("Mcf", ops)
+	if r.Cycles <= 0 {
+		t.Fatalf("run did not advance time: %+v", r)
+	}
+	if r.OpsRetired != uint64(len(ops)) {
+		t.Fatalf("retired %d of %d ops", r.OpsRetired, len(ops))
+	}
+	if r.DemandMissesToMemory == 0 {
+		t.Fatal("expected L2 misses on a tiny-cache irregular workload")
+	}
+	t.Logf("NoPref: cycles=%d misses=%d busy=%d uptoL2=%d beyondL2=%d",
+		r.Cycles, r.DemandMissesToMemory, r.Exec.Busy, r.Exec.UpToL2, r.Exec.BeyondL2)
+}
+
+func TestSmokeRepl(t *testing.T) {
+	ops := smokeOps(t, "Mcf")
+
+	base := NewSystem(DefaultConfig()).Run("Mcf", ops)
+
+	cfg := DefaultConfig()
+	tbl := table.NewRepl(table.ReplParams(1<<15), TableBase)
+	cfg.ULMT = prefetch.NewRepl(tbl)
+	r := NewSystem(cfg).Run("Mcf", ops)
+
+	if r.OpsRetired != uint64(len(ops)) {
+		t.Fatalf("retired %d of %d ops", r.OpsRetired, len(ops))
+	}
+	if r.ULMT.MissesProcessed == 0 {
+		t.Fatal("ULMT processed no misses")
+	}
+	if r.PushesToL2 == 0 {
+		t.Fatal("no prefetched lines reached the L2")
+	}
+	sp := r.Speedup(base)
+	t.Logf("Repl: cycles=%d (speedup %.3f) pushes=%d hits=%d delayed=%d occupancy=%.1f response=%.1f ipc=%.2f",
+		r.Cycles, sp, r.PushesToL2, r.Outcomes.Hits, r.Outcomes.DelayedHits,
+		r.ULMT.AvgOccupancy(), r.ULMT.AvgResponse(), r.ULMT.IPC())
+	if sp < 0.8 {
+		t.Fatalf("Repl slowed Mcf down drastically: speedup %.3f", sp)
+	}
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+
+	"ulmt/internal/bus"
+	"ulmt/internal/cache"
+	"ulmt/internal/cpu"
+	"ulmt/internal/dram"
+	"ulmt/internal/mem"
+	"ulmt/internal/memproc"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/queue"
+	"ulmt/internal/sim"
+	"ulmt/internal/stats"
+	"ulmt/internal/workload"
+)
+
+// System is one assembled machine executing one application run.
+type System struct {
+	cfg Config
+	eng *sim.Engine
+
+	mapper *mem.PageMapper
+	l1     *cache.Cache
+	l2     *cache.Cache
+	fsb    *bus.Bus
+	ram    *dram.DRAM
+	mp     *memproc.MemProc
+
+	q1     *queue.Queue
+	q2     *queue.Queue
+	q3     *queue.Queue
+	filter *queue.Filter
+
+	// ulmt is the active memory-thread algorithm; the
+	// multiprogramming scheduler switches it together with the
+	// application (§3.4).
+	ulmt prefetch.Algorithm
+
+	proc *cpu.Processor
+
+	// active is the Fig 1-(c) active-prefetching thread, if enabled.
+	active *activeState
+
+	// Outstanding-miss bookkeeping.
+	pendingL1 map[mem.Line]*l1Miss
+	pendingL2 map[mem.Line]*l2Miss
+
+	// System-level write-back queue: L2 victims headed to memory.
+	wbOut []mem.Line
+
+	issueBusy bool
+	ulmtBusy  bool
+
+	// Measurements.
+	missDist      *stats.Histogram
+	lastMissAt    sim.Cycle
+	sawMiss       bool
+	outcomes      stats.PrefetchOutcomes
+	demandMisses  uint64
+	prefReqsToMem uint64
+	pushesToL2    uint64
+	q3Drops       uint64
+	xMatchDemand  uint64
+	xMatchPush    uint64
+
+	// OS events (§3.4 page re-mapping).
+	remapsHandled  uint64
+	remapRowsMoved uint64
+}
+
+// l1Miss tracks one outstanding L1 miss and the processor requests
+// merged into it.
+type l1Miss struct {
+	mshrID  int
+	write   bool
+	waiters []func(cpu.Level)
+}
+
+// l2Miss tracks one outstanding L2 miss: the request travelling to
+// memory and every L1 miss waiting on the line.
+type l2Miss struct {
+	line      mem.Line
+	mshrID    int
+	prefetch  bool // processor-side prefetch request
+	satisfied bool // MSHR stolen by a matching push
+	completed bool // fill done; late replies are discarded
+	waiters   []l2Waiter
+}
+
+type l2Waiter struct {
+	l1Line mem.Line
+	write  bool
+}
+
+// NewSystem builds a machine from the configuration.
+func NewSystem(cfg Config) *System {
+	eng := sim.NewEngine()
+	d := dram.New(cfg.DRAM)
+	s := &System{
+		cfg:       cfg,
+		eng:       eng,
+		mapper:    mem.NewPageMapper(cfg.LinearPages, cfg.Seed),
+		l1:        cache.New(cfg.L1),
+		l2:        cache.New(cfg.L2),
+		fsb:       bus.New(eng, cfg.Bus),
+		ram:       d,
+		q1:        queue.New("q1", cfg.QueueDepth),
+		q2:        queue.New("q2", cfg.QueueDepth),
+		q3:        queue.New("q3", cfg.QueueDepth),
+		filter:    queue.NewFilter(cfg.FilterSize),
+		pendingL1: make(map[mem.Line]*l1Miss),
+		pendingL2: make(map[mem.Line]*l2Miss),
+		missDist:  stats.MissDistanceHistogram(),
+	}
+	s.ulmt = cfg.ULMT
+	if cfg.ULMT != nil || cfg.Active != nil {
+		s.mp = memproc.New(cfg.MemProc, d)
+	}
+	if cfg.Active != nil {
+		ac := *cfg.Active
+		if ac.MaxAhead <= 0 {
+			ac.MaxAhead = 12
+		}
+		s.active = &activeState{cfg: ac, emitted: make(map[mem.Line]int)}
+	}
+	return s
+}
+
+// Engine exposes the simulation clock for callers that interleave
+// other activity (tests, the profiling example).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Run executes the op stream to completion and returns the
+// measurements.
+func (s *System) Run(app string, ops []workload.Op) Results {
+	s.proc = cpu.New(s.eng, s.cfg.CPU, s, ops)
+	s.proc.Start(nil)
+	if s.active != nil {
+		s.eng.At(0, s.pumpActive)
+	}
+	s.eng.Run()
+	return s.results(app)
+}
+
+func (s *System) results(app string) Results {
+	r := Results{
+		App:                  app,
+		Cycles:               s.eng.Now(),
+		Exec:                 s.proc.Breakdown(),
+		DemandMissesToMemory: s.demandMisses,
+		PrefetchReqsToMemory: s.prefReqsToMem,
+		PushesToL2:           s.pushesToL2,
+		Outcomes:             s.outcomes,
+		MissDistance:         s.missDist,
+		Bus:                  s.fsb.Stats(),
+		DRAM:                 s.ram.Stats(),
+		L1:                   s.l1.Stats(),
+		L2:                   s.l2.Stats(),
+		FilterDropped:        s.filter.Dropped(),
+		Q2Drops:              s.q2.Drops(),
+		Q3Drops:              s.q3Drops,
+		CrossMatchedDemand:   s.xMatchDemand,
+		CrossMatchedPush:     s.xMatchPush,
+		OpsRetired:           s.proc.Retired,
+		CPUIssueCycles:       s.proc.IssueCycles,
+		CPUComputeCycles:     s.proc.ComputeCycles,
+	}
+	// Fold terminal cache state into the Fig 9 outcome categories.
+	r.Outcomes.Hits = s.l2.Stats().PrefetchHits
+	r.Outcomes.Replaced = s.l2.Stats().PrefetchEvictsUnused
+	r.BusUtilization = r.Bus.Utilization(r.Cycles)
+	r.PrefetchBusShare = r.Bus.PrefetchShare(r.Cycles)
+	if s.mp != nil {
+		r.ULMT = s.mp.Stats()
+	}
+	if s.cfg.Conven != nil {
+		r.ConvenIssued = s.cfg.Conven.Issued()
+	}
+	return r
+}
+
+// --- cpu.Memory implementation: the cache hierarchy front door ---
+
+// Load implements cpu.Memory.
+func (s *System) Load(a mem.Addr, done func(cpu.Level)) { s.access(a, false, done) }
+
+// Store implements cpu.Memory. Stores are write-allocate: a miss
+// fetches the line like a load before dirtying it.
+func (s *System) Store(a mem.Addr, done func(cpu.Level)) { s.access(a, true, done) }
+
+func (s *System) access(va mem.Addr, write bool, done func(cpu.Level)) {
+	pa := s.mapper.Translate(va)
+	l1l := mem.LineOf(pa, s.cfg.L1.Line)
+	if s.l1.Access(l1l, write).Hit {
+		s.eng.After(s.cfg.L1HitRT, func() { done(cpu.LevelL1) })
+		return
+	}
+	// L1 demand miss: the processor-side prefetcher observes it.
+	if s.cfg.Conven != nil {
+		for _, pl := range s.cfg.Conven.OnMiss(l1l) {
+			s.issuePrefetchIntoL1(pl)
+		}
+	}
+	s.missToL2(l1l, write, false, done)
+}
+
+// issuePrefetchIntoL1 injects one processor-side prefetch: it walks
+// the same L1-miss path as a demand access but is tagged as a
+// prefetch and completes silently.
+func (s *System) issuePrefetchIntoL1(l1l mem.Line) {
+	if s.l1.Contains(l1l) {
+		return
+	}
+	if _, merged := s.pendingL1[l1l]; merged {
+		return
+	}
+	if s.l1.FreeMSHRs() <= s.cfg.CPU.MaxPendingLoads {
+		// Keep headroom for demand misses; hardware prefetchers
+		// yield when the MSHR file is nearly full.
+		return
+	}
+	s.missToL2(l1l, false, true, nil)
+}
+
+// missToL2 handles an L1 miss (demand or prefetch): merge into an
+// existing L1 MSHR, consult the L2 after the lookup delay, and on an
+// L2 miss send the request to memory.
+func (s *System) missToL2(l1l mem.Line, write, isPrefetch bool, done func(cpu.Level)) {
+	if m, ok := s.pendingL1[l1l]; ok {
+		if done != nil {
+			m.waiters = append(m.waiters, done)
+		}
+		if write {
+			m.write = true
+		}
+		return
+	}
+	id, ok := s.l1.AllocMSHR(l1l, isPrefetch)
+	if !ok {
+		if isPrefetch {
+			return // drop the prefetch
+		}
+		// Structural stall: retry shortly. The CPU's pending-load
+		// bound keeps this path rare.
+		s.eng.After(2, func() { s.missToL2(l1l, write, isPrefetch, done) })
+		return
+	}
+	m := &l1Miss{mshrID: id, write: write}
+	if done != nil {
+		m.waiters = append(m.waiters, done)
+	}
+	s.pendingL1[l1l] = m
+
+	l2l := mem.Rescale(l1l, s.cfg.L1.Line, s.cfg.L2.Line)
+	res := s.l2.Access(l2l, false)
+	if res.Hit {
+		// FirstPrefetchTouch events surface through the L2 cache
+		// stats as Fig 9 Hits; see results().
+		s.eng.After(s.cfg.L2HitRT, func() { s.completeL1(l1l, cpu.LevelL2) })
+		return
+	}
+	// L2 miss: merge into an outstanding line request if any. The
+	// processor-visible completion callbacks live on the L1 miss
+	// record, so merging only needs the line identity.
+	if pm, ok := s.pendingL2[l2l]; ok && !pm.completed {
+		pm.waiters = append(pm.waiters, l2Waiter{l1Line: l1l, write: write})
+		return
+	}
+	if _, ok := s.l2.AllocMSHR(l2l, isPrefetch); !ok {
+		s.eng.After(4, func() { s.retryL2Miss(l1l, l2l, write, isPrefetch) })
+		return
+	}
+	s.sendToMemory(l1l, l2l, write, isPrefetch, s.cfg.L2HitRT)
+}
+
+// sendToMemory creates the outstanding-miss record (the MSHR was
+// already allocated by the caller) and launches the request across
+// the bus after lookupDelay.
+func (s *System) sendToMemory(l1l, l2l mem.Line, write, isPrefetch bool, lookupDelay sim.Cycle) {
+	pm := s.pendingL2[l2l]
+	if pm == nil {
+		pm = &l2Miss{line: l2l, mshrID: s.l2.MSHRFor(l2l), prefetch: isPrefetch}
+		s.pendingL2[l2l] = pm
+	}
+	pm.waiters = append(pm.waiters, l2Waiter{l1Line: l1l, write: write})
+	kind := bus.Demand
+	if isPrefetch {
+		kind = bus.Prefetch
+	}
+	s.eng.After(lookupDelay, func() {
+		s.fsb.TransferRequest(kind, func(done sim.Cycle) {
+			s.eng.At(done+s.cfg.CtrlOverhead, func() { s.arriveController(pm) })
+		})
+	})
+}
+
+// retryL2Miss re-attempts MSHR allocation for an L1 miss whose L2
+// MSHR file was full at first try.
+func (s *System) retryL2Miss(l1l, l2l mem.Line, write, isPrefetch bool) {
+	if pm, ok := s.pendingL2[l2l]; ok && !pm.completed {
+		pm.waiters = append(pm.waiters, l2Waiter{l1Line: l1l, write: write})
+		return
+	}
+	if s.l2.Contains(l2l) {
+		s.completeL1(l1l, cpu.LevelL2)
+		return
+	}
+	if _, ok := s.l2.AllocMSHR(l2l, isPrefetch); !ok {
+		s.eng.After(4, func() { s.retryL2Miss(l1l, l2l, write, isPrefetch) })
+		return
+	}
+	s.sendToMemory(l1l, l2l, write, isPrefetch, 0)
+}
+
+// completeL1 fills the L1 line and releases every processor request
+// merged on it.
+func (s *System) completeL1(l1l mem.Line, lvl cpu.Level) {
+	m, ok := s.pendingL1[l1l]
+	if !ok {
+		return
+	}
+	delete(s.pendingL1, l1l)
+	s.l1.FreeMSHR(m.mshrID)
+	s.l1.Fill(l1l, m.write, len(m.waiters) == 0)
+	s.drainL1Writebacks()
+	for _, w := range m.waiters {
+		w(lvl)
+	}
+}
+
+// drainL1Writebacks moves dirty L1 victims into the L2 (or onward to
+// memory when the L2 no longer has the line).
+func (s *System) drainL1Writebacks() {
+	for {
+		l, ok := s.l1.PopWB()
+		if !ok {
+			return
+		}
+		l2l := mem.Rescale(l, s.cfg.L1.Line, s.cfg.L2.Line)
+		if s.l2.Contains(l2l) {
+			s.l2.Access(l2l, true)
+		} else {
+			s.wbOut = append(s.wbOut, l2l)
+			s.pumpMemory()
+		}
+	}
+}
+
+// completeL2 fills the L2 and fans completion out to every merged L1
+// miss. fromPush marks completions delivered by a ULMT push (whose
+// MSHR was stolen rather than freed).
+func (s *System) completeL2(pm *l2Miss, lvl cpu.Level, fromPush bool) {
+	if pm.completed {
+		return
+	}
+	pm.completed = true
+	delete(s.pendingL2, pm.line)
+	if !pm.satisfied {
+		s.l2.FreeMSHR(pm.mshrID)
+	}
+	dirty := false
+	for _, w := range pm.waiters {
+		if w.write {
+			dirty = true
+		}
+	}
+	s.l2.Fill(pm.line, dirty, false)
+	s.drainL2Victims()
+	for _, w := range pm.waiters {
+		s.completeL1(w.l1Line, lvl)
+	}
+	pm.waiters = nil
+	_ = fromPush
+}
+
+// drainL2Victims forwards dirty L2 victims to the memory write path.
+func (s *System) drainL2Victims() {
+	for {
+		l, ok := s.l2.PopWB()
+		if !ok {
+			return
+		}
+		s.wbOut = append(s.wbOut, l)
+	}
+	// pumpMemory is triggered by the caller's event flow.
+}
+
+// DrainState summarizes outstanding machine state, for debugging
+// what keeps the engine busy after the processor retires.
+func (s *System) DrainState() string {
+	return fmt.Sprintf("q1=%d q2=%d q3=%d wb=%d pendingL1=%d pendingL2=%d ulmtBusy=%v issueBusy=%v busBacklog=%d",
+		s.q1.Len(), s.q2.Len(), s.q3.Len(), len(s.wbOut),
+		len(s.pendingL1), len(s.pendingL2), s.ulmtBusy, s.issueBusy, s.fsb.Backlog())
+}

@@ -1,0 +1,335 @@
+// Package cpu models the main processor: a 6-issue dynamic
+// superscalar running at 1.6 GHz with 8 pending loads and 16 pending
+// stores (paper Table 3).
+//
+// The model is an out-of-order *window* abstraction rather than a
+// full pipeline: ops issue in program order at up to IssueWidth per
+// cycle; independent loads overlap up to MaxPendingLoads outstanding
+// misses; a load marked Dep cannot issue until the most recent load
+// completes (a pointer chase); and no op may issue more than Window
+// ops past the oldest incomplete load (the reorder-buffer bound).
+// This captures what the prefetching study needs — memory-level
+// parallelism for independent misses, serialization for dependent
+// ones, and the resulting stall time — without simulating functional
+// execution.
+//
+// Stall cycles are attributed to the service level of the request
+// that unblocked the processor, yielding the Busy / UpToL2 /
+// BeyondL2 split of Figs 7 and 8.
+package cpu
+
+import (
+	"ulmt/internal/mem"
+	"ulmt/internal/sim"
+	"ulmt/internal/stats"
+	"ulmt/internal/workload"
+)
+
+// Level says where a request was satisfied, for stall attribution.
+type Level int
+
+const (
+	// LevelL1 is a hit in the L1 data cache.
+	LevelL1 Level = iota
+	// LevelL2 is a hit in the L2 cache, including hits on lines an
+	// in-flight prefetch delivered early.
+	LevelL2
+	// LevelMem is a request that had to go beyond the L2.
+	LevelMem
+)
+
+// Memory is the processor's view of the memory hierarchy. Both calls
+// complete asynchronously: done fires as a simulation event with the
+// level that satisfied the request. Implementations must never call
+// done synchronously from within Load/Store.
+type Memory interface {
+	Load(a mem.Addr, done func(Level))
+	Store(a mem.Addr, done func(Level))
+}
+
+// Config sizes the processor model.
+type Config struct {
+	IssueWidth       int // ops issued per cycle (paper: 6)
+	MaxPendingLoads  int // outstanding loads (paper: 8)
+	MaxPendingStores int // outstanding stores (paper: 16)
+	Window           int // ROB-like run-ahead bound, in ops
+}
+
+// DefaultConfig matches Table 3's main processor.
+func DefaultConfig() Config {
+	return Config{IssueWidth: 6, MaxPendingLoads: 8, MaxPendingStores: 16, Window: 128}
+}
+
+type blockReason int
+
+const (
+	notBlocked blockReason = iota
+	blockDep               // waiting for the value of the last load
+	blockLoadPorts
+	blockStorePorts
+	blockWindow
+)
+
+type inflightLoad struct {
+	id    uint64
+	opIdx int
+	done  bool
+}
+
+// Processor executes one op stream against a Memory.
+type Processor struct {
+	eng *sim.Engine
+	cfg Config
+	mem Memory
+	ops []workload.Op
+	pc  int
+
+	pendingLoads  int
+	pendingStores int
+	nextLoadID    uint64
+	lastLoadID    uint64
+	lastLoadDone  bool
+	inflight      []inflightLoad // FIFO in issue order
+
+	blocked    blockReason
+	blockStart sim.Cycle
+	blockOnID  uint64
+	paused     bool
+
+	startAt  sim.Cycle
+	uptoL2   sim.Cycle
+	beyondL2 sim.Cycle
+	finished bool
+	onDone   func()
+
+	// Retired counts completed ops, a progress metric.
+	Retired uint64
+	// IssueCycles and ComputeCycles break explicit activity out of
+	// the Busy residual, for model diagnostics: issue cycles are
+	// cycles the issue loop ran, compute cycles the Work it spent.
+	IssueCycles   uint64
+	ComputeCycles uint64
+	// BlockedByReason accumulates stall time per hazard, and
+	// BlockEvents counts stalls, for model diagnostics.
+	BlockedByReason [5]sim.Cycle
+	BlockEvents     [5]uint64
+	// Trace, when non-nil, receives every state transition (model
+	// debugging).
+	Trace func(ev string, at sim.Cycle)
+}
+
+// New builds a processor over the op stream. Call Start to begin.
+func New(eng *sim.Engine, cfg Config, m Memory, ops []workload.Op) *Processor {
+	if cfg.IssueWidth < 1 || cfg.MaxPendingLoads < 1 || cfg.MaxPendingStores < 1 {
+		panic("cpu: invalid config")
+	}
+	if cfg.Window < cfg.MaxPendingLoads {
+		cfg.Window = cfg.MaxPendingLoads * 8
+	}
+	return &Processor{eng: eng, cfg: cfg, mem: m, ops: ops, lastLoadDone: true}
+}
+
+// Start schedules execution; onDone fires when the last op and all
+// outstanding requests have completed.
+func (p *Processor) Start(onDone func()) {
+	p.onDone = onDone
+	p.startAt = p.eng.Now()
+	p.eng.After(0, p.step)
+}
+
+// Pause preempts the processor at the next issue boundary: no new
+// ops issue until Resume. In-flight memory requests keep completing
+// (the timeslice scheduler of a multiprogrammed run preempts the
+// core, not the memory system).
+func (p *Processor) Pause() { p.paused = true }
+
+// Resume continues execution after a Pause.
+func (p *Processor) Resume() {
+	if !p.paused {
+		return
+	}
+	p.paused = false
+	if p.blocked == notBlocked {
+		p.eng.After(0, p.step)
+	}
+	// If blocked, the pending completion callback will restart the
+	// issue loop as usual.
+}
+
+// Paused reports whether the processor is preempted.
+func (p *Processor) Paused() bool { return p.paused }
+
+// step runs one issue cycle: up to IssueWidth ops, stopping at a
+// compute op (which advances time by its Work) or a hazard.
+func (p *Processor) step() {
+	if p.Trace != nil {
+		p.Trace("step", p.eng.Now())
+	}
+	if p.finished || p.paused || p.blocked != notBlocked {
+		return
+	}
+	issued := 0
+	for issued < p.cfg.IssueWidth && p.pc < len(p.ops) {
+		op := &p.ops[p.pc]
+		switch op.Kind {
+		case workload.Compute:
+			p.pc++
+			p.Retired++
+			w := sim.Cycle(op.Work)
+			if w < 1 {
+				w = 1
+			}
+			p.ComputeCycles += uint64(w)
+			p.eng.After(w, p.step)
+			return
+		case workload.Load:
+			if op.Dep && !p.lastLoadDone {
+				p.block(blockDep, p.lastLoadID)
+				return
+			}
+			if p.pendingLoads >= p.cfg.MaxPendingLoads {
+				p.block(blockLoadPorts, 0)
+				return
+			}
+			if p.windowFull() {
+				p.block(blockWindow, 0)
+				return
+			}
+			p.issueLoad(op.Addr)
+			p.pc++
+			p.Retired++
+			issued++
+		case workload.Store:
+			if p.pendingStores >= p.cfg.MaxPendingStores {
+				p.block(blockStorePorts, 0)
+				return
+			}
+			p.issueStore(op.Addr)
+			p.pc++
+			p.Retired++
+			issued++
+		}
+	}
+	if p.pc >= len(p.ops) {
+		p.maybeFinish()
+		return
+	}
+	p.IssueCycles++
+	p.eng.After(1, p.step)
+}
+
+func (p *Processor) windowFull() bool {
+	if len(p.inflight) == 0 {
+		return false
+	}
+	// Oldest incomplete load bounds run-ahead.
+	for len(p.inflight) > 0 && p.inflight[0].done {
+		p.inflight = p.inflight[1:]
+	}
+	if len(p.inflight) == 0 {
+		return false
+	}
+	return p.pc-p.inflight[0].opIdx >= p.cfg.Window
+}
+
+func (p *Processor) issueLoad(a mem.Addr) {
+	p.nextLoadID++
+	id := p.nextLoadID
+	p.lastLoadID = id
+	p.lastLoadDone = false
+	p.pendingLoads++
+	p.inflight = append(p.inflight, inflightLoad{id: id, opIdx: p.pc})
+	p.mem.Load(a, func(lvl Level) { p.loadDone(id, lvl) })
+}
+
+func (p *Processor) issueStore(a mem.Addr) {
+	p.pendingStores++
+	p.mem.Store(a, func(lvl Level) { p.storeDone(lvl) })
+}
+
+func (p *Processor) loadDone(id uint64, lvl Level) {
+	if p.Trace != nil {
+		p.Trace("loadDone", p.eng.Now())
+	}
+	p.pendingLoads--
+	if id == p.lastLoadID {
+		p.lastLoadDone = true
+	}
+	for i := range p.inflight {
+		if p.inflight[i].id == id {
+			p.inflight[i].done = true
+			break
+		}
+	}
+	switch p.blocked {
+	case blockDep:
+		if id == p.blockOnID {
+			p.unblock(lvl)
+		}
+	case blockLoadPorts, blockWindow:
+		p.unblock(lvl)
+	case notBlocked, blockStorePorts:
+		// Either running, finished draining, or waiting on stores.
+	}
+	p.maybeFinish()
+}
+
+func (p *Processor) storeDone(lvl Level) {
+	p.pendingStores--
+	if p.blocked == blockStorePorts {
+		p.unblock(lvl)
+	}
+	p.maybeFinish()
+}
+
+func (p *Processor) block(r blockReason, onID uint64) {
+	if p.Trace != nil {
+		p.Trace("block", p.eng.Now())
+	}
+	p.blocked = r
+	p.blockOnID = onID
+	p.blockStart = p.eng.Now()
+}
+
+func (p *Processor) unblock(lvl Level) {
+	if p.Trace != nil {
+		p.Trace("unblock", p.eng.Now())
+	}
+	d := p.eng.Now() - p.blockStart
+	p.BlockedByReason[p.blocked] += d
+	p.BlockEvents[p.blocked]++
+	if lvl == LevelMem {
+		p.beyondL2 += d
+	} else {
+		p.uptoL2 += d
+	}
+	p.blocked = notBlocked
+	if !p.paused {
+		p.eng.After(0, p.step)
+	}
+}
+
+func (p *Processor) maybeFinish() {
+	if p.finished || p.pc < len(p.ops) || p.pendingLoads > 0 || p.pendingStores > 0 {
+		return
+	}
+	p.finished = true
+	if p.onDone != nil {
+		p.onDone()
+	}
+}
+
+// Finished reports whether the stream fully retired.
+func (p *Processor) Finished() bool { return p.finished }
+
+// Breakdown returns the execution-time attribution. Busy is the
+// remainder after memory stalls, matching how the paper's figures
+// fold computation and non-memory pipeline stalls together.
+func (p *Processor) Breakdown() stats.ExecBreakdown {
+	total := p.eng.Now() - p.startAt
+	busy := total - p.uptoL2 - p.beyondL2
+	if busy < 0 {
+		busy = 0
+	}
+	return stats.ExecBreakdown{Busy: busy, UpToL2: p.uptoL2, BeyondL2: p.beyondL2}
+}

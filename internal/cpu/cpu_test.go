@@ -1,0 +1,238 @@
+package cpu
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+	"ulmt/internal/sim"
+	"ulmt/internal/workload"
+)
+
+// fakeMem satisfies Memory with a fixed per-level latency and a
+// scripted level per address range.
+type fakeMem struct {
+	eng     *sim.Engine
+	lat     map[Level]sim.Cycle
+	levelOf func(mem.Addr) Level
+	loads   int
+	stores  int
+}
+
+func newFakeMem(eng *sim.Engine) *fakeMem {
+	return &fakeMem{
+		eng:     eng,
+		lat:     map[Level]sim.Cycle{LevelL1: 3, LevelL2: 19, LevelMem: 208},
+		levelOf: func(mem.Addr) Level { return LevelL1 },
+	}
+}
+
+func (f *fakeMem) Load(a mem.Addr, done func(Level)) {
+	f.loads++
+	lvl := f.levelOf(a)
+	f.eng.After(f.lat[lvl], func() { done(lvl) })
+}
+
+func (f *fakeMem) Store(a mem.Addr, done func(Level)) {
+	f.stores++
+	lvl := f.levelOf(a)
+	f.eng.After(f.lat[lvl], func() { done(lvl) })
+}
+
+func run(t *testing.T, ops []workload.Op, setup func(*fakeMem)) (*Processor, *fakeMem, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	fm := newFakeMem(eng)
+	if setup != nil {
+		setup(fm)
+	}
+	p := New(eng, DefaultConfig(), fm, ops)
+	p.Start(nil)
+	eng.Run()
+	if !p.Finished() {
+		t.Fatal("processor did not finish")
+	}
+	return p, fm, eng
+}
+
+func TestComputeAdvancesTime(t *testing.T) {
+	ops := []workload.Op{{Kind: workload.Compute, Work: 100}}
+	p, _, eng := run(t, ops, nil)
+	if eng.Now() < 100 {
+		t.Errorf("now = %d, want >= 100", eng.Now())
+	}
+	bd := p.Breakdown()
+	if bd.UpToL2 != 0 || bd.BeyondL2 != 0 {
+		t.Errorf("pure compute has stalls: %+v", bd)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	// 8 independent memory loads: they must overlap, finishing far
+	// sooner than 8x the latency.
+	var ops []workload.Op
+	for i := 0; i < 8; i++ {
+		ops = append(ops, workload.Op{Kind: workload.Load, Addr: mem.Addr(i * 64)})
+	}
+	_, _, eng := run(t, ops, func(f *fakeMem) {
+		f.levelOf = func(mem.Addr) Level { return LevelMem }
+	})
+	if eng.Now() > 300 {
+		t.Errorf("8 independent misses took %d cycles; they should overlap (~210)", eng.Now())
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	var ops []workload.Op
+	for i := 0; i < 4; i++ {
+		ops = append(ops, workload.Op{Kind: workload.Load, Addr: mem.Addr(i * 64), Dep: true})
+	}
+	p, _, eng := run(t, ops, func(f *fakeMem) {
+		f.levelOf = func(mem.Addr) Level { return LevelMem }
+	})
+	if eng.Now() < 3*208 {
+		t.Errorf("4 dependent misses took %d cycles; they must serialize (>= 624)", eng.Now())
+	}
+	bd := p.Breakdown()
+	if bd.BeyondL2 < 3*200 {
+		t.Errorf("BeyondL2 = %d; dependent stalls must be attributed to memory", bd.BeyondL2)
+	}
+}
+
+func TestPendingLoadLimit(t *testing.T) {
+	// 16 independent misses with 8 MSHR-equivalent slots: two waves.
+	var ops []workload.Op
+	for i := 0; i < 16; i++ {
+		ops = append(ops, workload.Op{Kind: workload.Load, Addr: mem.Addr(i * 64)})
+	}
+	_, _, eng := run(t, ops, func(f *fakeMem) {
+		f.levelOf = func(mem.Addr) Level { return LevelMem }
+	})
+	if eng.Now() < 2*208 {
+		t.Errorf("16 misses over 8 ports took %d, want >= 416", eng.Now())
+	}
+	if eng.Now() > 3*208 {
+		t.Errorf("16 misses took %d, want about two waves", eng.Now())
+	}
+}
+
+func TestStallAttributionByLevel(t *testing.T) {
+	// A dependent L2-hit chain stalls UpToL2, not BeyondL2.
+	var ops []workload.Op
+	for i := 0; i < 5; i++ {
+		ops = append(ops, workload.Op{Kind: workload.Load, Addr: mem.Addr(i * 64), Dep: true})
+	}
+	p, _, _ := run(t, ops, func(f *fakeMem) {
+		f.levelOf = func(mem.Addr) Level { return LevelL2 }
+	})
+	bd := p.Breakdown()
+	if bd.BeyondL2 != 0 {
+		t.Errorf("BeyondL2 = %d for an L2-hit chain", bd.BeyondL2)
+	}
+	if bd.UpToL2 < 4*19 {
+		t.Errorf("UpToL2 = %d, want >= 76", bd.UpToL2)
+	}
+}
+
+func TestStoresDoNotBlock(t *testing.T) {
+	// A burst of stores within the buffer bound retires at issue
+	// rate even when they miss to memory.
+	var ops []workload.Op
+	for i := 0; i < 16; i++ {
+		ops = append(ops, workload.Op{Kind: workload.Store, Addr: mem.Addr(i * 64)})
+	}
+	ops = append(ops, workload.Op{Kind: workload.Compute, Work: 1})
+	p, fm, _ := run(t, ops, func(f *fakeMem) {
+		f.levelOf = func(mem.Addr) Level { return LevelMem }
+	})
+	if fm.stores != 16 {
+		t.Errorf("stores issued = %d", fm.stores)
+	}
+	bd := p.Breakdown()
+	// All 16 fit the store buffer: no store-port stall.
+	if bd.BeyondL2 > 250 {
+		t.Errorf("stores stalled the processor excessively: %+v", bd)
+	}
+}
+
+func TestStoreBufferLimitStalls(t *testing.T) {
+	var ops []workload.Op
+	for i := 0; i < 40; i++ {
+		ops = append(ops, workload.Op{Kind: workload.Store, Addr: mem.Addr(i * 64)})
+	}
+	p, _, _ := run(t, ops, func(f *fakeMem) {
+		f.levelOf = func(mem.Addr) Level { return LevelMem }
+	})
+	bd := p.Breakdown()
+	if bd.BeyondL2 == 0 {
+		t.Error("40 stores over a 16-deep buffer must stall")
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	var ops []workload.Op
+	for i := 0; i < 50; i++ {
+		ops = append(ops,
+			workload.Op{Kind: workload.Load, Addr: mem.Addr(i * 64), Dep: i%3 == 0},
+			workload.Op{Kind: workload.Compute, Work: 5},
+		)
+	}
+	p, _, eng := run(t, ops, func(f *fakeMem) {
+		f.levelOf = func(a mem.Addr) Level { return Level(int(a/64) % 3) }
+	})
+	bd := p.Breakdown()
+	if bd.Total() != eng.Now() {
+		t.Errorf("breakdown total %d != run length %d", bd.Total(), eng.Now())
+	}
+}
+
+func TestRetiredCountsOps(t *testing.T) {
+	ops := []workload.Op{
+		{Kind: workload.Compute, Work: 1},
+		{Kind: workload.Load},
+		{Kind: workload.Store},
+	}
+	p, _, _ := run(t, ops, nil)
+	if p.Retired != 3 {
+		t.Errorf("retired = %d", p.Retired)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	p, _, _ := run(t, nil, nil)
+	if !p.Finished() {
+		t.Error("empty stream must finish")
+	}
+}
+
+func TestWindowLimitBounds(t *testing.T) {
+	// One very slow load followed by massive independent L1 work:
+	// the window bound must stop run-ahead.
+	ops := []workload.Op{{Kind: workload.Load, Addr: 0}}
+	for i := 0; i < 1000; i++ {
+		ops = append(ops, workload.Op{Kind: workload.Load, Addr: mem.Addr(64 + i*64)})
+	}
+	cfgWindow := DefaultConfig().Window
+	p, _, _ := run(t, ops, func(f *fakeMem) {
+		f.levelOf = func(a mem.Addr) Level {
+			if a == 0 {
+				return LevelMem
+			}
+			return LevelL1
+		}
+	})
+	bd := p.Breakdown()
+	// The slow head load must show up as stall once the window
+	// fills (1000 L1 loads can't all run ahead of it).
+	if cfgWindow < 1000 && bd.BeyondL2 == 0 {
+		t.Errorf("window limit never engaged: %+v", bd)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid config must panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{}, newFakeMem(sim.NewEngine()), nil)
+}

@@ -1,0 +1,159 @@
+// Package dram models the main memory of the simulated PC: a
+// dual-channel DRAM with per-bank open-row tracking, matching the
+// parameters of paper Table 3 (dual channel, each 2 B @ 800 MHz,
+// tRAC 45 ns, tSystem 60 ns).
+//
+// The model's job is to (a) decide row hit vs row miss for every
+// access, because the paper's round-trip latencies differ between the
+// two (208 vs 243 cycles from the main processor, 21 vs 56 from a
+// memory processor integrated in the DRAM chip), and (b) serialize
+// accesses that contend for the same bank, because the application
+// thread and the ULMT share banks and channels ("We model all the
+// contention in the system", §4).
+package dram
+
+import (
+	"ulmt/internal/mem"
+	"ulmt/internal/sim"
+)
+
+// Config sizes the DRAM geometry and bank service time.
+type Config struct {
+	// Channels is the number of independent channels (paper: 2).
+	Channels int
+	// BanksPerChannel is the number of banks on each channel.
+	BanksPerChannel int
+	// RowBytes is the size of a bank row (row-buffer reach).
+	RowBytes int
+	// ServiceCycles is how long an access occupies its bank, in
+	// 1.6 GHz cycles. It models tRAC plus the data burst.
+	ServiceCycles sim.Cycle
+	// LineSize is the transfer unit (the main processor's L2 line).
+	LineSize mem.LineSize
+}
+
+// DefaultConfig returns the Table 3 geometry: dual channel, 8 banks
+// per channel, 4 KB rows, and a bank busy time of 72 cycles
+// (tRAC = 45 ns at 1.6 GHz).
+func DefaultConfig() Config {
+	return Config{
+		Channels:        2,
+		BanksPerChannel: 8,
+		RowBytes:        4096,
+		ServiceCycles:   72,
+		LineSize:        mem.LineSize64,
+	}
+}
+
+type bank struct {
+	openRow   int64 // -1 = closed
+	busyUntil sim.Cycle
+}
+
+// Stats reports DRAM activity for diagnostics and ablations.
+type Stats struct {
+	Accesses  uint64
+	RowHits   uint64
+	BankWaits sim.Cycle // cycles requests spent waiting for busy banks
+}
+
+// DRAM is the bank-state model. It is not safe for concurrent use;
+// the single-threaded event engine is the only caller.
+type DRAM struct {
+	cfg      Config
+	banks    []bank
+	chanMask uint64
+	bankMask uint64
+	chanBits uint
+	bankBits uint
+	rowShift uint // line index -> row number shift (within a bank)
+	stats    Stats
+}
+
+// New builds a DRAM with all rows closed.
+func New(cfg Config) *DRAM {
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 {
+		panic("dram: need at least one channel and bank")
+	}
+	if cfg.Channels&(cfg.Channels-1) != 0 || cfg.BanksPerChannel&(cfg.BanksPerChannel-1) != 0 {
+		panic("dram: channels and banks must be powers of two")
+	}
+	d := &DRAM{cfg: cfg}
+	n := cfg.Channels * cfg.BanksPerChannel
+	d.banks = make([]bank, n)
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	d.chanBits = log2(uint64(cfg.Channels))
+	d.bankBits = log2(uint64(cfg.BanksPerChannel))
+	d.chanMask = uint64(cfg.Channels - 1)
+	d.bankMask = uint64(cfg.BanksPerChannel - 1)
+	linesPerRow := uint64(cfg.RowBytes) >> cfg.LineSize.Shift()
+	if linesPerRow == 0 {
+		linesPerRow = 1
+	}
+	d.rowShift = log2(linesPerRow)
+	return d
+}
+
+// Access serializes one line read/write on its bank starting no
+// earlier than now. It returns when the bank begins the access and
+// whether it hits the open row. The caller converts (start-now) wait
+// plus its own hit/miss latency into a completion time; keeping
+// latency policy out of the DRAM lets the main processor and both
+// memory-processor placements share one bank model while seeing the
+// different round-trip times of Table 3.
+func (d *DRAM) Access(now sim.Cycle, line mem.Line) (start sim.Cycle, rowHit bool) {
+	b, row := d.locate(line)
+	bk := &d.banks[b]
+	start = now
+	if bk.busyUntil > start {
+		d.stats.BankWaits += bk.busyUntil - start
+		start = bk.busyUntil
+	}
+	rowHit = bk.openRow == row
+	bk.openRow = row
+	bk.busyUntil = start + d.cfg.ServiceCycles
+	d.stats.Accesses++
+	if rowHit {
+		d.stats.RowHits++
+	}
+	return start, rowHit
+}
+
+// Peek reports whether an access to line would be a row hit right
+// now, without changing any state. Used by latency estimators.
+func (d *DRAM) Peek(line mem.Line) bool {
+	b, row := d.locate(line)
+	return d.banks[b].openRow == row
+}
+
+func (d *DRAM) locate(line mem.Line) (bankIndex int, row int64) {
+	idx := uint64(line)
+	ch := idx & d.chanMask
+	idx >>= d.chanBits
+	bk := idx & d.bankMask
+	idx >>= d.bankBits
+	row = int64(idx >> d.rowShift)
+	return int(ch*uint64(d.cfg.BanksPerChannel) + bk), row
+}
+
+// Stats returns a copy of the counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+func log2(v uint64) uint {
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

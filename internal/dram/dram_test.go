@@ -1,0 +1,144 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ulmt/internal/mem"
+	"ulmt/internal/sim"
+)
+
+func TestRowHitAfterAccess(t *testing.T) {
+	d := New(DefaultConfig())
+	l := mem.Line(0x1234)
+	_, hit := d.Access(0, l)
+	if hit {
+		t.Error("first access to a closed bank must be a row miss")
+	}
+	_, hit = d.Access(1000, l)
+	if !hit {
+		t.Error("second access to the same line must be a row hit")
+	}
+	if !d.Peek(l) {
+		t.Error("Peek should see the open row")
+	}
+}
+
+func TestRowConflict(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	l := mem.Line(0)
+	// Same bank, different row: line + banks*channels*linesPerRow.
+	linesPerRow := uint64(cfg.RowBytes) >> cfg.LineSize.Shift()
+	far := mem.Line(uint64(l) + uint64(cfg.Channels*cfg.BanksPerChannel)*linesPerRow)
+	d.Access(0, l)
+	_, hit := d.Access(1000, far)
+	if hit {
+		t.Error("different row in the same bank must miss")
+	}
+	_, hit = d.Access(2000, l)
+	if hit {
+		t.Error("original row must have been closed by the conflict")
+	}
+}
+
+func TestBankContention(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	l := mem.Line(7)
+	start1, _ := d.Access(100, l)
+	if start1 != 100 {
+		t.Fatalf("idle bank should start immediately, got %d", start1)
+	}
+	// A second access to the same bank during its service time waits.
+	start2, _ := d.Access(110, l)
+	if start2 != 100+cfg.ServiceCycles {
+		t.Errorf("contended access started at %d, want %d", start2, 100+cfg.ServiceCycles)
+	}
+	if d.Stats().BankWaits != start2-110 {
+		t.Errorf("BankWaits = %d, want %d", d.Stats().BankWaits, start2-110)
+	}
+}
+
+func TestDifferentBanksOverlap(t *testing.T) {
+	d := New(DefaultConfig())
+	// Adjacent lines interleave across channels/banks, so they must
+	// not serialize.
+	s1, _ := d.Access(0, 0)
+	s2, _ := d.Access(0, 1)
+	if s1 != 0 || s2 != 0 {
+		t.Errorf("adjacent lines serialized: %d %d", s1, s2)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Access(0, 5)
+	d.Access(100, 5)
+	d.Access(200, 5)
+	st := d.Stats()
+	if st.Accesses != 3 || st.RowHits != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.RowHitRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("row hit rate = %f", got)
+	}
+	if (Stats{}).RowHitRate() != 0 {
+		t.Error("empty stats must report zero hit rate")
+	}
+}
+
+func TestSequentialLinesSpreadOverBanks(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	banks := map[int]bool{}
+	for i := 0; i < cfg.Channels*cfg.BanksPerChannel; i++ {
+		b, _ := d.locate(mem.Line(i))
+		banks[b] = true
+	}
+	if len(banks) != cfg.Channels*cfg.BanksPerChannel {
+		t.Errorf("first %d lines hit only %d distinct banks", cfg.Channels*cfg.BanksPerChannel, len(banks))
+	}
+}
+
+func TestLocateStableProperty(t *testing.T) {
+	d := New(DefaultConfig())
+	f := func(l uint32) bool {
+		b1, r1 := d.locate(mem.Line(l))
+		b2, r2 := d.locate(mem.Line(l))
+		return b1 == b2 && r1 == r2 && b1 >= 0 && b1 < 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotonicStartProperty(t *testing.T) {
+	// An access never starts before it is issued.
+	d := New(DefaultConfig())
+	f := func(l uint16, at uint16) bool {
+		now := sim.Cycle(at)
+		start, _ := d.Access(now, mem.Line(l))
+		return start >= now
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Channels: 0, BanksPerChannel: 8, RowBytes: 4096, LineSize: mem.LineSize64},
+		{Channels: 3, BanksPerChannel: 8, RowBytes: 4096, LineSize: mem.LineSize64},
+		{Channels: 2, BanksPerChannel: 0, RowBytes: 4096, LineSize: mem.LineSize64},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

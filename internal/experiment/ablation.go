@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"ulmt/internal/core"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/table"
+)
+
+// AblationRow is one design-decision experiment: the same
+// application and algorithm with a single mechanism changed.
+type AblationRow struct {
+	Name     string
+	App      string
+	Baseline float64 // metric with the paper's design
+	Ablated  float64 // metric with the mechanism changed
+	Metric   string
+}
+
+// Ablations quantifies the design decisions DESIGN.md calls out, on
+// one representative irregular application:
+//
+//  1. prefetch-before-learn ordering (§3.1) — response time;
+//  2. queue 2/3 cross-matching (§3.2) — execution time;
+//  3. the Filter module (§3.2) — pushes reaching the L2;
+//  4. push into L2 vs dropping at the boundary (pull-style) —
+//     execution time;
+//  5. Replicated's last-miss pointers (§3.3.2) — occupancy time;
+//  6. the adaptive algorithm extension (§3.3.3) — execution time on
+//     a mixed workload against the pair-only ULMT.
+func (r *Runner) Ablations(app string) []AblationRow {
+	ops := r.Ops(app)
+	rows := r.NumRows(app)
+	base := r.Baseline(app)
+
+	build := func(mutate func(*core.Config)) core.Results {
+		cfg := r.BuildConfig(app, CfgRepl)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return core.NewSystem(cfg).Run(app, ops)
+	}
+
+	normal := r.Run(app, CfgRepl)
+	out := make([]AblationRow, 0, 6)
+
+	lf := build(func(c *core.Config) { c.LearnFirst = true })
+	out = append(out, AblationRow{
+		Name: "learn-first ordering", App: app,
+		Baseline: normal.ULMT.AvgResponse(), Ablated: lf.ULMT.AvgResponse(),
+		Metric: "response cycles",
+	})
+
+	xm := build(func(c *core.Config) { c.DisableCrossMatch = true })
+	out = append(out, AblationRow{
+		Name: "no queue cross-match", App: app,
+		Baseline: float64(normal.Cycles), Ablated: float64(xm.Cycles),
+		Metric: "cycles",
+	})
+
+	nf := build(func(c *core.Config) { c.FilterSize = 0 })
+	out = append(out, AblationRow{
+		Name: "no Filter module", App: app,
+		Baseline: float64(normal.PushesToL2), Ablated: float64(nf.PushesToL2),
+		Metric: "pushes to L2",
+	})
+
+	pull := build(func(c *core.Config) { c.DropPushes = true })
+	out = append(out, AblationRow{
+		Name: "drop pushes (pull-style)", App: app,
+		Baseline: normal.Speedup(base), Ablated: pull.Speedup(base),
+		Metric: "speedup",
+	})
+
+	noPtr := build(func(c *core.Config) {
+		p := table.ReplParams(rows)
+		t := table.NewRepl(p, TableBase)
+		t.UsePointers = false
+		c.ULMT = prefetch.NewRepl(t)
+	})
+	out = append(out, AblationRow{
+		Name: "no last-miss pointers", App: app,
+		Baseline: normal.ULMT.AvgOccupancy(), Ablated: noPtr.ULMT.AvgOccupancy(),
+		Metric: "occupancy cycles",
+	})
+
+	adaptive := build(func(c *core.Config) {
+		p := table.ReplParams(rows)
+		c.ULMT = prefetch.NewAdaptive(
+			prefetch.NewSeq(4, 6, SeqStateBase),
+			prefetch.NewRepl(table.NewRepl(p, TableBase)),
+		)
+	})
+	out = append(out, AblationRow{
+		Name: "adaptive seq/pair ULMT", App: app,
+		Baseline: normal.Speedup(base), Ablated: adaptive.Speedup(base),
+		Metric: "speedup",
+	})
+	return out
+}

@@ -1,0 +1,229 @@
+// Package experiment reproduces the paper's evaluation: every table
+// and figure of §5 is a function here, built on a shared run matrix
+// so that (for example) Fig 7's execution times, Fig 9's outcome
+// breakdowns and Fig 11's bus utilizations come from the same runs,
+// as they do in the paper.
+package experiment
+
+import (
+	"fmt"
+
+	"ulmt/internal/core"
+	"ulmt/internal/mem"
+	"ulmt/internal/memproc"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/table"
+	"ulmt/internal/trace"
+	"ulmt/internal/workload"
+)
+
+// TableBase is the simulated physical address of correlation tables:
+// far above any frame the page mapper hands out, so table traffic and
+// application traffic never alias.
+const TableBase mem.Addr = 1 << 44
+
+// SeqStateBase is where ULMT sequential-prefetcher stream registers
+// live.
+const SeqStateBase mem.Addr = 1<<44 - 4096
+
+// Options scopes an experiment run.
+type Options struct {
+	// Scale selects problem sizes (default ScaleSmall).
+	Scale workload.Scale
+	// Apps restricts the applications (default: all nine).
+	Apps []string
+	// Seed scrambles page mapping.
+	Seed uint64
+}
+
+func (o Options) apps() []string {
+	if len(o.Apps) > 0 {
+		return o.Apps
+	}
+	return workload.Names()
+}
+
+// Config labels, matching the bars of Figs 7-11.
+const (
+	CfgNoPref       = "NoPref"
+	CfgConven4      = "Conven4"
+	CfgBase         = "Base"
+	CfgChain        = "Chain"
+	CfgRepl         = "Repl"
+	CfgConvenRepl   = "Conven4+Repl"
+	CfgConvenReplMC = "Conven4+ReplMC"
+	CfgReplMC       = "ReplMC"
+	CfgDASP         = "DASP"
+	CfgSeq1         = "Seq1"
+	CfgSeq4         = "Seq4"
+	CfgSeq4Repl     = "Seq4+Repl"
+	CfgCustom       = "Custom"
+)
+
+// Runner memoizes op streams, miss traces, per-app table sizing, and
+// simulation runs across the experiments of one invocation.
+type Runner struct {
+	opt    Options
+	ops    map[string][]workload.Op
+	traces map[string][]mem.Line
+	rows   map[string]int
+	runs   map[string]core.Results
+}
+
+// NewRunner builds an empty cache of experiment state.
+func NewRunner(opt Options) *Runner {
+	return &Runner{
+		opt:    opt,
+		ops:    make(map[string][]workload.Op),
+		traces: make(map[string][]mem.Line),
+		rows:   make(map[string]int),
+		runs:   make(map[string]core.Results),
+	}
+}
+
+// Ops returns (generating once) the op stream of an application.
+func (r *Runner) Ops(app string) []workload.Op {
+	if ops, ok := r.ops[app]; ok {
+		return ops
+	}
+	w, err := workload.ByName(app)
+	if err != nil {
+		panic(err)
+	}
+	ops := w.Generate(r.opt.Scale)
+	r.ops[app] = ops
+	return ops
+}
+
+// MissTrace returns (extracting once) the functional L2 miss trace.
+func (r *Runner) MissTrace(app string) []mem.Line {
+	if t, ok := r.traces[app]; ok {
+		return t
+	}
+	cfg := core.DefaultConfig()
+	t := trace.L2Misses(r.Ops(app), trace.Config{
+		L1: cfg.L1, L2: cfg.L2, LinearPages: cfg.LinearPages, Seed: r.opt.Seed,
+	})
+	r.traces[app] = t
+	return t
+}
+
+// NumRows returns the Table 2 sizing for an application: the lowest
+// power of two with <5% of insertions replacing a valid row.
+func (r *Runner) NumRows(app string) int {
+	if n, ok := r.rows[app]; ok {
+		return n
+	}
+	n, _ := table.SizeRows(r.MissTrace(app), 2, 0.05, 1<<10, 1<<22)
+	r.rows[app] = n
+	return n
+}
+
+// predictorRows sizes the large conflict-free tables of the Fig 5
+// methodology (the paper uses NumRows=256K; smaller scales use
+// proportionally smaller but still conflict-free tables).
+func (r *Runner) predictorRows() int {
+	if r.opt.Scale >= workload.ScaleMedium {
+		return 1 << 18
+	}
+	return 1 << 16
+}
+
+// BuildConfig assembles a core.Config for a labeled configuration,
+// with fresh (stateful) prefetcher instances.
+func (r *Runner) BuildConfig(app, label string) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = r.opt.Seed
+	rows := r.NumRows(app)
+
+	newRepl := func(levels int) prefetch.Algorithm {
+		p := table.ReplParams(rows)
+		p.NumLevels = levels
+		return prefetch.NewRepl(table.NewRepl(p, TableBase))
+	}
+	conven := func() { cfg.Conven = prefetch.NewConven(4, 6) }
+
+	switch label {
+	case CfgNoPref:
+	case CfgConven4:
+		conven()
+	case CfgDASP:
+		cfg.DASP = prefetch.NewConven(4, 6)
+	case CfgBase:
+		cfg.ULMT = prefetch.NewBase(table.NewBase(table.BaseParams(rows), TableBase))
+	case CfgChain:
+		p := table.ChainParams(rows)
+		cfg.ULMT = prefetch.NewChain(table.NewBase(p, TableBase), p.NumLevels)
+	case CfgRepl:
+		cfg.ULMT = newRepl(3)
+	case CfgReplMC:
+		cfg.ULMT = newRepl(3)
+		cfg.MemProc = memproc.DefaultConfig(memproc.InNorthBridge)
+	case CfgConvenRepl:
+		conven()
+		cfg.ULMT = newRepl(3)
+	case CfgConvenReplMC:
+		conven()
+		cfg.ULMT = newRepl(3)
+		cfg.MemProc = memproc.DefaultConfig(memproc.InNorthBridge)
+	case CfgSeq1:
+		cfg.ULMT = prefetch.NewSeq(1, 6, SeqStateBase)
+	case CfgSeq4:
+		cfg.ULMT = prefetch.NewSeq(4, 6, SeqStateBase)
+	case CfgSeq4Repl:
+		cfg.ULMT = &prefetch.Combined{
+			First:  prefetch.NewSeq(4, 6, SeqStateBase),
+			Second: newRepl(3),
+		}
+	case CfgCustom:
+		// Table 5: CG runs Seq1+Repl in Verbose mode; MST and Mcf
+		// run Repl with NumLevels=4; Conven4 stays on. Applications
+		// without a customization keep their Conven4+Repl setup.
+		conven()
+		switch app {
+		case "CG":
+			cfg.ULMT = &prefetch.Combined{
+				First:  prefetch.NewSeq(1, 6, SeqStateBase),
+				Second: newRepl(3),
+			}
+			cfg.Verbose = true
+		case "MST", "Mcf":
+			cfg.ULMT = newRepl(4)
+		default:
+			cfg.ULMT = newRepl(3)
+		}
+	default:
+		panic(fmt.Sprintf("experiment: unknown configuration %q", label))
+	}
+	return cfg
+}
+
+// Run simulates (once) application app under the labeled
+// configuration.
+func (r *Runner) Run(app, label string) core.Results {
+	key := app + "/" + label
+	if res, ok := r.runs[key]; ok {
+		return res
+	}
+	cfg := r.BuildConfig(app, label)
+	res := core.NewSystem(cfg).Run(app, r.Ops(app))
+	res.Label = label
+	r.runs[key] = res
+	return res
+}
+
+// Baseline returns the NoPref run for normalization.
+func (r *Runner) Baseline(app string) core.Results { return r.Run(app, CfgNoPref) }
+
+// GeoMeanSpeedup is not what the paper uses: it reports the plain
+// average of per-application speedups ("the average of the
+// application speedups", §5.2), so that is what AverageSpeedup
+// computes.
+func (r *Runner) AverageSpeedup(label string) float64 {
+	apps := r.opt.apps()
+	sum := 0.0
+	for _, app := range apps {
+		sum += r.Run(app, label).Speedup(r.Baseline(app))
+	}
+	return sum / float64(len(apps))
+}

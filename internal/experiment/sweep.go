@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"ulmt/internal/core"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/table"
+)
+
+// Parameter-sensitivity sweeps: the first customization approach of
+// §3.3.3 is "to use the table organizations and prefetching
+// algorithms described above but to tune their parameters on an
+// application basis" — NumLevels for predictable miss sequences,
+// NumRows for footprint. These sweeps measure both knobs.
+
+// SweepPoint is one configuration of a parameter sweep.
+type SweepPoint struct {
+	App     string
+	Param   string
+	Value   int
+	Speedup float64
+	// Coverage and PushesPerMiss explain the speedup movement.
+	Coverage      float64
+	PushesPerMiss float64
+}
+
+// SweepNumLevels measures Repl with NumLevels 1..4 on one app.
+func (r *Runner) SweepNumLevels(app string) []SweepPoint {
+	ops := r.Ops(app)
+	rows := r.NumRows(app)
+	base := r.Baseline(app)
+	out := make([]SweepPoint, 0, 4)
+	for levels := 1; levels <= 4; levels++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = r.opt.Seed
+		p := table.ReplParams(rows)
+		p.NumLevels = levels
+		cfg.ULMT = prefetch.NewRepl(table.NewRepl(p, TableBase))
+		res := core.NewSystem(cfg).Run(app, ops)
+		out = append(out, sweepPoint(app, "NumLevels", levels, res, base))
+	}
+	return out
+}
+
+// SweepNumRows measures Repl with the sized row count scaled by
+// 1/4x, 1x and 4x on one app.
+func (r *Runner) SweepNumRows(app string) []SweepPoint {
+	ops := r.Ops(app)
+	rows := r.NumRows(app)
+	base := r.Baseline(app)
+	out := make([]SweepPoint, 0, 3)
+	for _, f := range []int{4, 1, -4} {
+		n := rows * f
+		if f < 0 {
+			n = rows / (-f)
+		}
+		if n < 8 {
+			n = 8
+		}
+		cfg := core.DefaultConfig()
+		cfg.Seed = r.opt.Seed
+		cfg.ULMT = prefetch.NewRepl(table.NewRepl(table.ReplParams(n), TableBase))
+		res := core.NewSystem(cfg).Run(app, ops)
+		out = append(out, sweepPoint(app, "NumRows", n, res, base))
+	}
+	return out
+}
+
+func sweepPoint(app, param string, value int, res, base core.Results) SweepPoint {
+	ppm := 0.0
+	if base.DemandMissesToMemory > 0 {
+		ppm = float64(res.PushesToL2) / float64(base.DemandMissesToMemory)
+	}
+	return SweepPoint{
+		App: app, Param: param, Value: value,
+		Speedup:       res.Speedup(base),
+		Coverage:      res.Coverage(base),
+		PushesPerMiss: ppm,
+	}
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"testing"
+
+	"ulmt/internal/workload"
+)
+
+func TestSweepNumLevels(t *testing.T) {
+	r := NewRunner(Options{Scale: workload.ScaleTiny, Apps: []string{"Mcf"}, Seed: 1})
+	pts := r.SweepNumLevels("Mcf")
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Value != i+1 {
+			t.Errorf("point %d value = %d", i, pt.Value)
+		}
+		if pt.Speedup <= 0 || pt.Coverage < 0 {
+			t.Errorf("point %+v invalid", pt)
+		}
+	}
+	// More levels emit more prefetches per miss.
+	if pts[3].PushesPerMiss <= pts[0].PushesPerMiss {
+		t.Errorf("NumLevels=4 pushes (%.2f) should exceed NumLevels=1 (%.2f)",
+			pts[3].PushesPerMiss, pts[0].PushesPerMiss)
+	}
+}
+
+func TestSweepNumRows(t *testing.T) {
+	r := NewRunner(Options{Scale: workload.ScaleTiny, Apps: []string{"Mcf"}, Seed: 1})
+	pts := r.SweepNumRows("Mcf")
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// The shrunken table must not beat the sized table.
+	var sized, small SweepPoint
+	for _, pt := range pts {
+		switch {
+		case pt.Value == r.NumRows("Mcf"):
+			sized = pt
+		case pt.Value < r.NumRows("Mcf"):
+			small = pt
+		}
+	}
+	if small.Coverage > sized.Coverage+0.02 {
+		t.Errorf("quarter-size table coverage %.3f beats sized table %.3f",
+			small.Coverage, sized.Coverage)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	r := NewRunner(Options{Scale: workload.ScaleTiny, Apps: []string{"Mcf"}, Seed: 1})
+	rows := r.Ablations("Mcf")
+	if len(rows) != 6 {
+		t.Fatalf("ablations = %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, row := range rows {
+		byName[row.Name] = row
+		if row.Metric == "" || row.App != "Mcf" {
+			t.Errorf("malformed row %+v", row)
+		}
+	}
+	lf := byName["learn-first ordering"]
+	if lf.Ablated <= lf.Baseline {
+		t.Errorf("learn-first response (%.1f) should exceed prefetch-first (%.1f)", lf.Ablated, lf.Baseline)
+	}
+	pull := byName["drop pushes (pull-style)"]
+	if pull.Ablated >= pull.Baseline {
+		t.Errorf("dropping pushes (%.3f) should not beat pushing (%.3f)", pull.Ablated, pull.Baseline)
+	}
+}

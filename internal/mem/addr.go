@@ -1,0 +1,78 @@
+// Package mem defines the address arithmetic shared by every component
+// of the simulated machine: byte addresses, cache-line addresses, and
+// the virtual-to-physical page mapping used by workloads.
+//
+// The simulator works almost exclusively on line addresses. A line
+// address is a byte address shifted right by the line-size exponent,
+// so two references map to the same line address exactly when they hit
+// the same cache line. Different caches in the machine use different
+// line sizes (the main processor's L1 and the memory processor's L1
+// use 32-byte lines; the L2 uses 64-byte lines), so conversions always
+// name the line size they are for.
+package mem
+
+import "fmt"
+
+// Addr is a byte address in the simulated physical or virtual address
+// space. The simulator uses a 48-bit space; the top bits are reserved
+// for synthetic regions such as the correlation table.
+type Addr uint64
+
+// Line is a cache-line address: a byte address divided by the line
+// size of the cache it refers to.
+type Line uint64
+
+// LineSize describes a power-of-two cache line size in bytes.
+type LineSize uint
+
+// Common line sizes in the simulated machine (paper Table 3).
+const (
+	LineSize32 LineSize = 32 // main-processor L1, memory-processor L1
+	LineSize64 LineSize = 64 // main-processor L2, DRAM transfer unit
+)
+
+// Shift returns log2 of the line size.
+func (s LineSize) Shift() uint {
+	switch s {
+	case 16:
+		return 4
+	case 32:
+		return 5
+	case 64:
+		return 6
+	case 128:
+		return 7
+	default:
+		n := uint(0)
+		for v := uint(s); v > 1; v >>= 1 {
+			n++
+		}
+		return n
+	}
+}
+
+// LineOf converts a byte address to the line address for line size s.
+func LineOf(a Addr, s LineSize) Line {
+	return Line(uint64(a) >> s.Shift())
+}
+
+// AddrOf converts a line address back to the byte address of the first
+// byte in the line.
+func AddrOf(l Line, s LineSize) Addr {
+	return Addr(uint64(l) << s.Shift())
+}
+
+// Rescale converts a line address from one line size to another. Going
+// from a smaller to a larger line size loses the low bits; going the
+// other way yields the first sub-line.
+func Rescale(l Line, from, to LineSize) Line {
+	return LineOf(AddrOf(l, from), to)
+}
+
+// String formats an address in hex, matching how the tools print
+// addresses in traces and diagnostics.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// String formats a line address in hex with an L prefix to keep line
+// and byte addresses visually distinct in logs.
+func (l Line) String() string { return fmt.Sprintf("L0x%x", uint64(l)) }

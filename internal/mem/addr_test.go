@@ -1,0 +1,90 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineSizeShift(t *testing.T) {
+	cases := []struct {
+		s    LineSize
+		want uint
+	}{
+		{16, 4}, {LineSize32, 5}, {LineSize64, 6}, {128, 7}, {256, 8},
+	}
+	for _, c := range cases {
+		if got := c.s.Shift(); got != c.want {
+			t.Errorf("LineSize(%d).Shift() = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestLineOfAddrOf(t *testing.T) {
+	if got := LineOf(0x1000, LineSize64); got != 0x40 {
+		t.Errorf("LineOf(0x1000, 64) = %#x, want 0x40", uint64(got))
+	}
+	if got := LineOf(0x103f, LineSize64); got != 0x40 {
+		t.Errorf("LineOf(0x103f, 64) = %#x, want 0x40", uint64(got))
+	}
+	if got := AddrOf(0x40, LineSize64); got != 0x1000 {
+		t.Errorf("AddrOf(0x40, 64) = %#x, want 0x1000", uint64(got))
+	}
+}
+
+func TestLineOfRoundTripProperty(t *testing.T) {
+	// AddrOf(LineOf(a)) must round a down to its line start, and the
+	// result must cover a.
+	f := func(a uint64) bool {
+		a &= (1 << 48) - 1
+		for _, s := range []LineSize{LineSize32, LineSize64} {
+			l := LineOf(Addr(a), s)
+			base := AddrOf(l, s)
+			if uint64(base) > a || a-uint64(base) >= uint64(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRescale(t *testing.T) {
+	// Two adjacent 32B lines within one 64B line map to the same
+	// 64B line.
+	a, b := Line(10), Line(11)
+	if Rescale(a, LineSize32, LineSize64) != Rescale(b, LineSize32, LineSize64) {
+		t.Error("adjacent 32B lines should share a 64B line")
+	}
+	// Growing then shrinking yields the first sub-line.
+	big := Rescale(a, LineSize32, LineSize64)
+	if got := Rescale(big, LineSize64, LineSize32); got != a {
+		t.Errorf("Rescale back gave %v, want %v", got, a)
+	}
+}
+
+func TestRescaleProperty(t *testing.T) {
+	// Rescaling up preserves ordering (monotone non-decreasing).
+	f := func(x, y uint32) bool {
+		lx, ly := Line(x), Line(y)
+		ux := Rescale(lx, LineSize32, LineSize64)
+		uy := Rescale(ly, LineSize32, LineSize64)
+		if lx <= ly {
+			return ux <= uy
+		}
+		return ux >= uy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrStrings(t *testing.T) {
+	if Addr(0x1f).String() != "0x1f" {
+		t.Errorf("Addr string = %q", Addr(0x1f).String())
+	}
+	if Line(0x1f).String() != "L0x1f" {
+		t.Errorf("Line string = %q", Line(0x1f).String())
+	}
+}

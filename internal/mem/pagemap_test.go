@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageMapperLinear(t *testing.T) {
+	m := NewPageMapper(true, 1)
+	for _, a := range []Addr{0, 4095, 4096, 1 << 30} {
+		if got := m.Translate(a); got != a {
+			t.Errorf("linear Translate(%v) = %v", a, got)
+		}
+	}
+}
+
+func TestPageMapperStableWithinPage(t *testing.T) {
+	m := NewPageMapper(false, 7)
+	base := m.Translate(0x12000)
+	// Every offset within the same virtual page keeps the frame and
+	// the offset.
+	for off := Addr(0); off < PageSize4K; off += 64 {
+		got := m.Translate(0x12000 + off)
+		if got != base+off {
+			t.Fatalf("offset %d: got %v, want %v", off, got, base+off)
+		}
+	}
+}
+
+func TestPageMapperDeterministic(t *testing.T) {
+	a := NewPageMapper(false, 42)
+	b := NewPageMapper(false, 42)
+	for i := 0; i < 1000; i++ {
+		v := Addr(i * 4096)
+		if a.Translate(v) != b.Translate(v) {
+			t.Fatalf("mappers with same seed diverged at page %d", i)
+		}
+	}
+}
+
+func TestPageMapperSeedChangesLayout(t *testing.T) {
+	a := NewPageMapper(false, 1)
+	b := NewPageMapper(false, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		v := Addr(i * 4096)
+		if a.Translate(v) == b.Translate(v) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds produced %d/100 identical frames", same)
+	}
+}
+
+func TestPageMapperInjective(t *testing.T) {
+	m := NewPageMapper(false, 3)
+	frames := make(map[Addr]Addr)
+	for i := 0; i < 20000; i++ {
+		v := Addr(i) * 4096
+		p := m.Translate(v)
+		if prev, dup := frames[p]; dup {
+			t.Fatalf("frame %v assigned to both %v and %v", p, prev, v)
+		}
+		frames[p] = v
+	}
+	if m.MappedPages() != 20000 {
+		t.Errorf("MappedPages = %d, want 20000", m.MappedPages())
+	}
+}
+
+func TestPageMapperScatters(t *testing.T) {
+	// Consecutive virtual pages should rarely be physically adjacent.
+	m := NewPageMapper(false, 9)
+	adjacent := 0
+	prev := m.Translate(0)
+	for i := 1; i < 1000; i++ {
+		cur := m.Translate(Addr(i * 4096))
+		if cur == prev+4096 {
+			adjacent++
+		}
+		prev = cur
+	}
+	if adjacent > 10 {
+		t.Errorf("%d/999 consecutive virtual pages were physically adjacent", adjacent)
+	}
+}
+
+func TestPageMapperRemap(t *testing.T) {
+	m := NewPageMapper(false, 5)
+	v := Addr(0x42000)
+	before := m.Translate(v)
+	oldPFN, newPFN := m.Remap(v)
+	if oldPFN != uint64(before)>>12 {
+		t.Errorf("Remap old PFN = %#x, want %#x", oldPFN, uint64(before)>>12)
+	}
+	after := m.Translate(v)
+	if uint64(after)>>12 != newPFN {
+		t.Errorf("post-remap frame %#x, want %#x", uint64(after)>>12, newPFN)
+	}
+	if after == before {
+		t.Error("Remap did not move the page")
+	}
+	// Remapping an untouched page simply maps it.
+	o, n := m.Remap(0x999000)
+	if o != n {
+		t.Errorf("remap of unmapped page: old %#x != new %#x", o, n)
+	}
+}
+
+func TestPageMapperOffsetPreservedProperty(t *testing.T) {
+	m := NewPageMapper(false, 11)
+	f := func(v uint32) bool {
+		a := Addr(v)
+		p := m.Translate(a)
+		return uint64(p)&4095 == uint64(a)&4095
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package prefetch
+
+import (
+	"ulmt/internal/mem"
+	"ulmt/internal/table"
+)
+
+// Active memory-side prefetching (paper Fig 1-(c), §2.1): instead of
+// reacting to observed misses, "the memory processor runs an
+// abridged version of the code that is running on the main
+// processor. The execution of the code induces the memory processor
+// to fetch data that the main processor will need later."
+//
+// A Slice is that abridged program: the address-generating skeleton
+// of the application with the computation stripped out. Its execution
+// cost is charged like any ULMT work — and crucially, a *dependent*
+// address (a pointer chase) requires the slice itself to load the
+// pointer before it can continue, paying the memory processor's own
+// memory latency. That is the structural advantage of running the
+// helper in memory: it chases pointers at in-DRAM latency (21-56
+// cycles, Table 3) while the main processor would pay the full
+// 208-243-cycle round trip per hop.
+
+// SliceStep is one address the abridged program generates. Dep marks
+// steps whose address came out of the previous load (pointer chase):
+// the slice must read that line itself before proceeding.
+type SliceStep struct {
+	Line mem.Line
+	Dep  bool
+}
+
+// Slice is a replayable abridged program over a fixed step sequence.
+type Slice struct {
+	steps []SliceStep
+	pos   int
+}
+
+// NewSlice builds a slice from the step sequence.
+func NewSlice(steps []SliceStep) *Slice {
+	return &Slice{steps: steps}
+}
+
+// Next generates one future line, charging the generation cost to
+// the sink. ok is false when the program is exhausted.
+func (s *Slice) Next(sink table.Sink) (mem.Line, bool) {
+	if s.pos >= len(s.steps) {
+		return 0, false
+	}
+	st := s.steps[s.pos]
+	s.pos++
+	// Address arithmetic of the skeleton loop.
+	sink.Instr(2)
+	if st.Dep {
+		// The abridged program dereferences the pointer itself.
+		sink.Touch(mem.AddrOf(st.Line, mem.LineSize64), 8, false)
+	}
+	return st.Line, true
+}
+
+// Skip fast-forwards the program by n steps without executing them —
+// the resynchronization a helper thread performs when the main
+// processor has overtaken it.
+func (s *Slice) Skip(n int) {
+	s.pos += n
+	if s.pos > len(s.steps) {
+		s.pos = len(s.steps)
+	}
+}
+
+// Peek returns the step at offset d from the current position
+// without consuming it, for resynchronization scans.
+func (s *Slice) Peek(d int) (SliceStep, bool) {
+	i := s.pos + d
+	if i < 0 || i >= len(s.steps) {
+		return SliceStep{}, false
+	}
+	return s.steps[i], true
+}
+
+// Remaining reports unexecuted steps.
+func (s *Slice) Remaining() int { return len(s.steps) - s.pos }
+
+// Len reports the program length.
+func (s *Slice) Len() int { return len(s.steps) }
+
+// Pos reports the current position, for tests and diagnostics.
+func (s *Slice) Pos() int { return s.pos }

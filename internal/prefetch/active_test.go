@@ -1,0 +1,67 @@
+package prefetch
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+)
+
+func TestSliceSequentialConsumption(t *testing.T) {
+	steps := []SliceStep{{Line: 1}, {Line: 2, Dep: true}, {Line: 3}}
+	s := NewSlice(steps)
+	if s.Len() != 3 || s.Remaining() != 3 || s.Pos() != 0 {
+		t.Fatalf("fresh slice state wrong: %d %d %d", s.Len(), s.Remaining(), s.Pos())
+	}
+	var seen []mem.Line
+	for {
+		l, ok := s.Next(nullSink)
+		if !ok {
+			break
+		}
+		seen = append(seen, l)
+	}
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Fatalf("consumed %v", seen)
+	}
+	if s.Remaining() != 0 {
+		t.Error("slice not exhausted")
+	}
+}
+
+func TestSliceDepChargesMemory(t *testing.T) {
+	// A dependent step must touch the line itself; an independent
+	// one must not.
+	var c countTouches
+	s := NewSlice([]SliceStep{{Line: 100}, {Line: 200, Dep: true}})
+	s.Next(&c)
+	if c.touches != 0 {
+		t.Errorf("independent step touched memory %d times", c.touches)
+	}
+	s.Next(&c)
+	if c.touches != 1 {
+		t.Errorf("dependent step touched memory %d times, want 1", c.touches)
+	}
+}
+
+type countTouches struct{ touches, instrs int }
+
+func (c *countTouches) Touch(mem.Addr, int, bool) { c.touches++ }
+func (c *countTouches) Instr(n int)               { c.instrs += n }
+
+func TestSliceSkipAndPeek(t *testing.T) {
+	s := NewSlice([]SliceStep{{Line: 1}, {Line: 2}, {Line: 3}, {Line: 4}})
+	if st, ok := s.Peek(2); !ok || st.Line != 3 {
+		t.Fatalf("peek(2) = %v %v", st, ok)
+	}
+	s.Skip(2)
+	if l, _ := s.Next(nullSink); l != 3 {
+		t.Fatalf("after skip, next = %v", l)
+	}
+	s.Skip(100) // over-skip clamps
+	if _, ok := s.Next(nullSink); ok {
+		t.Error("over-skipped slice still yields")
+	}
+	if _, ok := s.Peek(0); ok {
+		t.Error("peek past end should fail")
+	}
+}

@@ -1,0 +1,119 @@
+package prefetch
+
+import (
+	"ulmt/internal/mem"
+	"ulmt/internal/table"
+)
+
+// Adaptive implements the customization the paper sketches in
+// §3.3.3: "Another approach is to adaptively decide the algorithm
+// on-the-fly, as the application executes." It watches the character
+// of the miss stream over fixed windows and routes the prefetching
+// step to a sequential algorithm, a pair-based algorithm, or both:
+//
+//   - a stream dominated by ±1-line transitions is cheap to cover
+//     sequentially, and skipping the table lookup keeps response and
+//     occupancy low;
+//   - a stream with no sequential structure gets the pair-based
+//     algorithm only;
+//   - mixed streams run both, like the Seq+Repl combinations.
+//
+// Both algorithms keep learning in every mode (learning is off the
+// critical path; the prefetching step is what adaptivity trims).
+type Adaptive struct {
+	Seq  Algorithm
+	Pair Algorithm
+
+	// Window is how many misses are observed between decisions.
+	Window int
+	// HiSeq and LoSeq are the sequential-fraction thresholds for
+	// Seq-only and Pair-only modes.
+	HiSeq, LoSeq float64
+
+	mode      adaptMode
+	last      mem.Line
+	hasLast   bool
+	inWindow  int
+	seqCount  int
+	decisions [3]uint64 // per-mode windows, for inspection
+}
+
+type adaptMode int
+
+const (
+	modeBoth adaptMode = iota
+	modeSeq
+	modePair
+)
+
+// NewAdaptive builds an adaptive ULMT over a sequential and a
+// pair-based algorithm with a 256-miss decision window.
+func NewAdaptive(seq, pair Algorithm) *Adaptive {
+	return &Adaptive{
+		Seq: seq, Pair: pair,
+		Window: 256, HiSeq: 0.6, LoSeq: 0.1,
+		mode: modeBoth,
+	}
+}
+
+// Name implements Algorithm.
+func (a *Adaptive) Name() string { return "Adaptive(" + a.Seq.Name() + "," + a.Pair.Name() + ")" }
+
+// Prefetch implements Algorithm: route to the mode's algorithms.
+func (a *Adaptive) Prefetch(m mem.Line, s table.Sink, emit func(mem.Line)) {
+	s.Instr(2) // mode dispatch
+	switch a.mode {
+	case modeSeq:
+		a.Seq.Prefetch(m, s, emit)
+	case modePair:
+		a.Pair.Prefetch(m, s, emit)
+	default:
+		a.Seq.Prefetch(m, s, emit)
+		a.Pair.Prefetch(m, s, emit)
+	}
+}
+
+// Learn implements Algorithm: both models keep learning, and the
+// window statistics advance.
+func (a *Adaptive) Learn(m mem.Line, s table.Sink) {
+	a.Seq.Learn(m, s)
+	a.Pair.Learn(m, s)
+
+	s.Instr(3) // window bookkeeping
+	if a.hasLast && (m == a.last+1 || m == a.last-1) {
+		a.seqCount++
+	}
+	a.last, a.hasLast = m, true
+	a.inWindow++
+	if a.inWindow >= a.Window {
+		frac := float64(a.seqCount) / float64(a.inWindow)
+		switch {
+		case frac >= a.HiSeq:
+			a.mode = modeSeq
+		case frac <= a.LoSeq:
+			a.mode = modePair
+		default:
+			a.mode = modeBoth
+		}
+		a.decisions[a.mode]++
+		a.inWindow, a.seqCount = 0, 0
+	}
+}
+
+// Mode reports the current routing for tests and diagnostics:
+// "both", "seq" or "pair".
+func (a *Adaptive) Mode() string {
+	switch a.mode {
+	case modeSeq:
+		return "seq"
+	case modePair:
+		return "pair"
+	}
+	return "both"
+}
+
+// Decisions reports how many windows chose each mode (both, seq,
+// pair).
+func (a *Adaptive) Decisions() (both, seq, pair uint64) {
+	return a.decisions[modeBoth], a.decisions[modeSeq], a.decisions[modePair]
+}

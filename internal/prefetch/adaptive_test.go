@@ -1,0 +1,120 @@
+package prefetch
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+	"ulmt/internal/table"
+)
+
+func newTestAdaptive() *Adaptive {
+	a := NewAdaptive(NewSeq(4, 6, 0), NewRepl(table.NewRepl(table.ReplParams(1<<10), 0)))
+	a.Window = 64 // fast decisions for tests
+	return a
+}
+
+func feed(a *Adaptive, misses []mem.Line) int {
+	emitted := 0
+	for _, m := range misses {
+		a.Prefetch(m, nullSink, func(mem.Line) { emitted++ })
+		a.Learn(m, nullSink)
+	}
+	return emitted
+}
+
+func TestAdaptiveSwitchesToSeqOnStream(t *testing.T) {
+	a := newTestAdaptive()
+	var misses []mem.Line
+	for i := 0; i < 256; i++ {
+		misses = append(misses, mem.Line(1000+i))
+	}
+	feed(a, misses)
+	if a.Mode() != "seq" {
+		t.Errorf("mode = %s after a pure stream, want seq", a.Mode())
+	}
+	_, seq, _ := a.Decisions()
+	if seq == 0 {
+		t.Error("no seq-mode decisions recorded")
+	}
+}
+
+func TestAdaptiveSwitchesToPairOnPointerChase(t *testing.T) {
+	a := newTestAdaptive()
+	pattern := []mem.Line{10, 900, 33, 1200, 77, 3000, 250, 9000}
+	var misses []mem.Line
+	for i := 0; i < 40; i++ {
+		misses = append(misses, pattern...)
+	}
+	feed(a, misses)
+	if a.Mode() != "pair" {
+		t.Errorf("mode = %s after a pointer chase, want pair", a.Mode())
+	}
+}
+
+func TestAdaptiveMixedKeepsBoth(t *testing.T) {
+	a := newTestAdaptive()
+	var misses []mem.Line
+	// Alternate short sequential bursts with scattered misses:
+	// roughly 40% sequential transitions.
+	for i := 0; i < 40; i++ {
+		base := mem.Line(10000 + i*100)
+		misses = append(misses, base, base+1, base+2, mem.Line(7+i*977), mem.Line(31+i*1993))
+	}
+	feed(a, misses)
+	if a.Mode() != "both" {
+		t.Errorf("mode = %s on a mixed stream, want both", a.Mode())
+	}
+}
+
+func TestAdaptiveStillPrefetchesAfterSwitch(t *testing.T) {
+	a := newTestAdaptive()
+	// Learn a repeating pointer pattern; after switching to pair
+	// mode the table content must produce prefetches.
+	pattern := []mem.Line{10, 900, 33, 1200, 77}
+	var misses []mem.Line
+	for i := 0; i < 60; i++ {
+		misses = append(misses, pattern...)
+	}
+	feed(a, misses)
+	var got []mem.Line
+	a.Prefetch(10, nullSink, func(l mem.Line) { got = append(got, l) })
+	if len(got) == 0 {
+		t.Fatal("no prefetches from the pair table after adaptation")
+	}
+	found := false
+	for _, l := range got {
+		if l == 900 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected successor 900 among %v", got)
+	}
+}
+
+func TestAdaptiveSeqModeSkipsTableLookup(t *testing.T) {
+	// In seq mode the pair table must not be probed during the
+	// prefetching step (that is the whole point: lower response).
+	a := newTestAdaptive()
+	var misses []mem.Line
+	for i := 0; i < 128; i++ {
+		misses = append(misses, mem.Line(5000+i))
+	}
+	feed(a, misses)
+	if a.Mode() != "seq" {
+		t.Fatalf("mode = %s", a.Mode())
+	}
+	repl := a.Pair.(*Repl)
+	before := repl.T.Stats().Lookups
+	a.Prefetch(6000, nullSink, func(mem.Line) {})
+	if repl.T.Stats().Lookups != before {
+		t.Error("pair table probed in seq mode")
+	}
+}
+
+func TestAdaptiveName(t *testing.T) {
+	a := newTestAdaptive()
+	if a.Name() != "Adaptive(Seq4,Repl)" {
+		t.Errorf("name = %q", a.Name())
+	}
+}

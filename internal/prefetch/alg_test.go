@@ -1,0 +1,194 @@
+package prefetch
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+	"ulmt/internal/table"
+)
+
+var nullSink table.NullSink
+
+func collect(alg Algorithm, m mem.Line) []mem.Line {
+	var out []mem.Line
+	alg.Prefetch(m, nullSink, func(l mem.Line) { out = append(out, l) })
+	return out
+}
+
+func learnSeq(alg Algorithm, seq ...mem.Line) {
+	for _, m := range seq {
+		alg.Learn(m, nullSink)
+	}
+}
+
+// The Fig 4 worked example, end to end through the algorithms: after
+// a,b,c,a,d,c a miss on a prefetches...
+func TestFig4Algorithms(t *testing.T) {
+	a, b, c, d := mem.Line(10), mem.Line(20), mem.Line(30), mem.Line(40)
+	seq := []mem.Line{a, b, c, a, d, c}
+
+	// Base (NumSucc=2 as in the figure): prefetch d, b.
+	base := NewBase(table.NewBase(table.Params{NumRows: 8, Assoc: 2, NumSucc: 2, NumLevels: 1}, 0))
+	learnSeq(base, seq...)
+	if got := collect(base, a); len(got) != 2 || got[0] != d || got[1] != b {
+		t.Errorf("Base prefetch = %v, want [d b]", got)
+	}
+
+	// Chain (NumLevels=2): prefetch d, b then follow d -> prefetch c.
+	chain := NewChain(table.NewBase(table.Params{NumRows: 8, Assoc: 2, NumSucc: 2, NumLevels: 2}, 0), 2)
+	learnSeq(chain, seq...)
+	if got := collect(chain, a); len(got) != 3 || got[0] != d || got[1] != b || got[2] != c {
+		t.Errorf("Chain prefetch = %v, want [d b c]", got)
+	}
+
+	// Replicated (NumLevels=2): prefetch d, b, c in one row access.
+	repl := NewRepl(table.NewRepl(table.Params{NumRows: 8, Assoc: 2, NumSucc: 2, NumLevels: 2}, 0))
+	learnSeq(repl, seq...)
+	if got := collect(repl, a); len(got) != 3 || got[0] != d || got[1] != b || got[2] != c {
+		t.Errorf("Repl prefetch = %v, want [d b c]", got)
+	}
+}
+
+func TestChainStopsOnUnknownRow(t *testing.T) {
+	chain := NewChain(table.NewBase(table.ChainParams(64), 0), 3)
+	learnSeq(chain, 1, 2) // successors(2) unknown
+	got := collect(chain, 1)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("prefetch = %v, want [2]", got)
+	}
+	if got := collect(chain, 99); got != nil {
+		t.Errorf("unknown miss should prefetch nothing, got %v", got)
+	}
+}
+
+func TestCombined(t *testing.T) {
+	seqAlg := NewSeq(1, 2, 0)
+	repl := NewRepl(table.NewRepl(table.ReplParams(64), 0))
+	comb := &Combined{First: seqAlg, Second: repl}
+	if comb.Name() != "Seq1+Repl" {
+		t.Errorf("name = %q", comb.Name())
+	}
+	// Sequential run teaches both parts.
+	for _, m := range []mem.Line{1, 2, 3, 4, 5} {
+		comb.Prefetch(m, nullSink, func(mem.Line) {})
+		comb.Learn(m, nullSink)
+	}
+	got := collect(comb, 6)
+	if len(got) == 0 {
+		t.Fatal("combined algorithm prefetched nothing on a stream")
+	}
+	// The sequential half must contribute the next lines.
+	found := false
+	for _, l := range got {
+		if l == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected line 7 among %v", got)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	called := 0
+	f := &Func{
+		AlgName:    "X",
+		OnPrefetch: func(m mem.Line, s table.Sink, emit func(mem.Line)) { emit(m + 1) },
+		OnLearn:    func(m mem.Line, s table.Sink) { called++ },
+	}
+	if f.Name() != "X" {
+		t.Error("name")
+	}
+	if got := collect(f, 5); len(got) != 1 || got[0] != 6 {
+		t.Errorf("emit = %v", got)
+	}
+	f.Learn(5, nullSink)
+	if called != 1 {
+		t.Error("learn not called")
+	}
+	// Nil hooks are tolerated.
+	empty := &Func{AlgName: "E"}
+	empty.Prefetch(1, nullSink, func(mem.Line) {})
+	empty.Learn(1, nullSink)
+}
+
+func TestSeqDetectsUpStream(t *testing.T) {
+	q := NewSeq(4, 6, 0)
+	var got []mem.Line
+	for i := 0; i < 6; i++ {
+		m := mem.Line(100 + i)
+		q.Prefetch(m, nullSink, func(l mem.Line) { got = append(got, l) })
+		q.Learn(m, nullSink)
+	}
+	if len(got) == 0 {
+		t.Fatal("no prefetches on an ascending stream")
+	}
+	// Prefetches must be strictly ahead of the triggering miss.
+	for _, l := range got {
+		if l <= 100 {
+			t.Errorf("prefetch %v not ahead of stream", l)
+		}
+	}
+}
+
+func TestSeqDetectsDownStream(t *testing.T) {
+	q := NewSeq(2, 4, 0)
+	var got []mem.Line
+	for i := 0; i < 6; i++ {
+		m := mem.Line(1000 - i)
+		q.Prefetch(m, nullSink, func(l mem.Line) { got = append(got, l) })
+		q.Learn(m, nullSink)
+	}
+	if len(got) == 0 {
+		t.Fatal("no prefetches on a descending stream")
+	}
+	for _, l := range got {
+		if l >= 1000 {
+			t.Errorf("prefetch %v not below the descending stream", l)
+		}
+	}
+}
+
+func TestSeqIgnoresRandom(t *testing.T) {
+	q := NewSeq(4, 6, 0)
+	var got []mem.Line
+	for _, m := range []mem.Line{5, 900, 17, 3000, 211, 4096, 77} {
+		q.Prefetch(m, nullSink, func(l mem.Line) { got = append(got, l) })
+		q.Learn(m, nullSink)
+	}
+	if len(got) != 0 {
+		t.Errorf("random misses triggered prefetches: %v", got)
+	}
+}
+
+func TestSeqMultipleStreams(t *testing.T) {
+	q := NewSeq(4, 6, 0)
+	emitted := 0
+	// Interleave four ascending streams.
+	bases := []mem.Line{1000, 5000, 9000, 13000}
+	for i := 0; i < 8; i++ {
+		for _, b := range bases {
+			m := b + mem.Line(i)
+			q.Prefetch(m, nullSink, func(mem.Line) { emitted++ })
+			q.Learn(m, nullSink)
+		}
+	}
+	if emitted == 0 {
+		t.Fatal("no prefetches with four interleaved streams")
+	}
+	valid := 0
+	for _, r := range q.streams {
+		if r.valid {
+			valid++
+		}
+	}
+	if valid != 4 {
+		t.Errorf("tracking %d streams, want 4", valid)
+	}
+}
+
+func TestSeqNames(t *testing.T) {
+	if NewSeq(1, 6, 0).Name() != "Seq1" || NewSeq(4, 6, 0).Name() != "Seq4" || NewSeq(2, 6, 0).Name() != "Seq" {
+		t.Error("names wrong")
+	}
+}

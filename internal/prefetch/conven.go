@@ -1,0 +1,146 @@
+package prefetch
+
+import "ulmt/internal/mem"
+
+// Conven is the conventional processor-side hardware prefetcher of §4
+// ("Processor-Side Prefetching"): it monitors L1 cache misses,
+// recognizes up to NumSeq concurrent stride ±1 streams (in L1 lines),
+// and prefetches the next NumPref lines of a stream into the L1.
+// When the processor later misses on the address held in a stream's
+// register, the prefetcher fetches the next NumPref lines and updates
+// the register.
+//
+// It is hardware: it costs no ULMT time and its requests are tagged
+// as prefetches on the bus (so a Non-Verbose ULMT never sees them).
+type Conven struct {
+	NumSeq  int
+	NumPref int
+
+	streams  []streamReg
+	candUp   map[mem.Line]int
+	candDown map[mem.Line]int
+	tick     uint64
+
+	issued uint64
+}
+
+// NewConven builds the Table 4 Conven4 prefetcher when called with
+// (4, 6).
+func NewConven(numSeq, numPref int) *Conven {
+	if numSeq < 1 || numPref < 1 {
+		panic("prefetch: Conven needs NumSeq, NumPref >= 1")
+	}
+	return &Conven{
+		NumSeq:   numSeq,
+		NumPref:  numPref,
+		streams:  make([]streamReg, numSeq),
+		candUp:   make(map[mem.Line]int),
+		candDown: make(map[mem.Line]int),
+	}
+}
+
+// Name identifies the configuration, e.g. "Conven4".
+func (c *Conven) Name() string {
+	if c.NumSeq == 4 {
+		return "Conven4"
+	}
+	return "Conven"
+}
+
+// OnMiss consumes one L1 demand-miss line address and returns the L1
+// lines to prefetch, in stream order. The returned slice is valid
+// until the next call.
+func (c *Conven) OnMiss(m mem.Line) []mem.Line {
+	c.tick++
+	// 1. Does the miss match (or land within the window of) an
+	// active stream? Then slide the window forward.
+	for i := range c.streams {
+		r := &c.streams[i]
+		if !r.valid {
+			continue
+		}
+		d := (int64(m) - int64(r.expected)) * r.stride
+		if d < 0 || d >= int64(c.NumPref) {
+			continue
+		}
+		r.expected = mem.Line(int64(m) + r.stride)
+		r.lru = c.tick
+		return c.window(m, r.stride)
+	}
+	// 2. Otherwise run detection; the third miss in a sequence
+	// triggers a stream.
+	upAdv, upAlloc := c.extend(m, +1)
+	if upAlloc {
+		return c.window(m, +1)
+	}
+	downAdv, downAlloc := c.extend(m, -1)
+	if downAlloc {
+		return c.window(m, -1)
+	}
+	if !upAdv && !downAdv {
+		c.candUp[m+1] = 1
+		c.candDown[m-1] = 1
+		c.trim()
+	}
+	return nil
+}
+
+func (c *Conven) window(m mem.Line, stride int64) []mem.Line {
+	out := make([]mem.Line, 0, c.NumPref)
+	for k := 1; k <= c.NumPref; k++ {
+		out = append(out, mem.Line(int64(m)+int64(k)*stride))
+	}
+	c.issued += uint64(len(out))
+	return out
+}
+
+// extend advances a detection run ending at m. advanced reports that
+// m continued an existing run (so no fresh run should be seeded);
+// allocated that the run reached three misses and became a stream.
+func (c *Conven) extend(m mem.Line, stride int64) (advanced, allocated bool) {
+	cand := c.candUp
+	if stride < 0 {
+		cand = c.candDown
+	}
+	run, ok := cand[m]
+	if !ok {
+		return false, false
+	}
+	delete(cand, m)
+	run++
+	if run >= 3 {
+		c.allocate(mem.Line(int64(m)+stride), stride)
+		return true, true
+	}
+	cand[mem.Line(int64(m)+stride)] = run
+	return true, false
+}
+
+func (c *Conven) allocate(expected mem.Line, stride int64) {
+	victim, oldest := 0, uint64(1<<64-1)
+	for i := range c.streams {
+		r := &c.streams[i]
+		if !r.valid {
+			victim, oldest = i, 0
+			continue
+		}
+		if r.lru < oldest {
+			oldest = r.lru
+			victim = i
+		}
+	}
+	c.streams[victim] = streamReg{valid: true, expected: expected, stride: stride, lru: c.tick}
+}
+
+func (c *Conven) trim() {
+	const maxCand = 64
+	if len(c.candUp) > maxCand {
+		c.candUp = make(map[mem.Line]int)
+	}
+	if len(c.candDown) > maxCand {
+		c.candDown = make(map[mem.Line]int)
+	}
+}
+
+// Issued reports the total prefetch lines requested.
+func (c *Conven) Issued() uint64 { return c.issued }

@@ -1,0 +1,101 @@
+package prefetch
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+)
+
+func TestConvenThirdMissTriggers(t *testing.T) {
+	c := NewConven(4, 6)
+	if got := c.OnMiss(100); got != nil {
+		t.Errorf("first miss prefetched %v", got)
+	}
+	if got := c.OnMiss(101); got != nil {
+		t.Errorf("second miss prefetched %v", got)
+	}
+	got := c.OnMiss(102)
+	if len(got) != 6 {
+		t.Fatalf("third miss prefetched %d lines, want 6", len(got))
+	}
+	for i, l := range got {
+		if l != mem.Line(103+i) {
+			t.Errorf("prefetch[%d] = %v, want %v", i, l, 103+i)
+		}
+	}
+	if c.Issued() != 6 {
+		t.Errorf("issued = %d", c.Issued())
+	}
+}
+
+func TestConvenRegisterAdvance(t *testing.T) {
+	c := NewConven(1, 6)
+	c.OnMiss(100)
+	c.OnMiss(101)
+	c.OnMiss(102) // stream allocated, expected = 103
+	got := c.OnMiss(103)
+	if len(got) != 6 || got[0] != 104 {
+		t.Fatalf("register miss prefetched %v", got)
+	}
+	// A miss within the window (expected advanced to 104; miss 106
+	// is 2 ahead) still matches and slides the window.
+	got = c.OnMiss(106)
+	if len(got) != 6 || got[0] != 107 {
+		t.Fatalf("windowed miss prefetched %v", got)
+	}
+}
+
+func TestConvenDownStream(t *testing.T) {
+	c := NewConven(2, 4)
+	c.OnMiss(500)
+	c.OnMiss(499)
+	got := c.OnMiss(498)
+	if len(got) != 4 || got[0] != 497 || got[3] != 494 {
+		t.Fatalf("descending prefetch = %v", got)
+	}
+}
+
+func TestConvenInterleavedStreams(t *testing.T) {
+	c := NewConven(4, 6)
+	total := 0
+	for i := 0; i < 6; i++ {
+		for _, b := range []mem.Line{1000, 2000, 3000, 4000} {
+			total += len(c.OnMiss(b + mem.Line(i)))
+		}
+	}
+	if total == 0 {
+		t.Fatal("interleaved streams never detected")
+	}
+}
+
+func TestConvenLRUStreamReplacement(t *testing.T) {
+	c := NewConven(1, 2) // one register only
+	c.OnMiss(100)
+	c.OnMiss(101)
+	c.OnMiss(102) // stream A
+	// A new stream evicts A.
+	c.OnMiss(9000)
+	c.OnMiss(9001)
+	if got := c.OnMiss(9002); len(got) == 0 {
+		t.Fatal("second stream not detected")
+	}
+	// Stream A's register is gone: its next miss restarts detection.
+	if got := c.OnMiss(103); len(got) != 0 {
+		t.Errorf("evicted stream still prefetching: %v", got)
+	}
+}
+
+func TestConvenRandomSilent(t *testing.T) {
+	c := NewConven(4, 6)
+	for _, m := range []mem.Line{3, 999, 40, 77777, 1234, 87, 4000} {
+		if got := c.OnMiss(m); len(got) != 0 {
+			t.Fatalf("random miss %v prefetched %v", m, got)
+		}
+	}
+}
+
+func TestConvenName(t *testing.T) {
+	if NewConven(4, 6).Name() != "Conven4" || NewConven(2, 6).Name() != "Conven" {
+		t.Error("names wrong")
+	}
+}

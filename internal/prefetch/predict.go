@@ -1,0 +1,215 @@
+package prefetch
+
+import (
+	"ulmt/internal/mem"
+	"ulmt/internal/table"
+)
+
+// Predictor measures how well an algorithm predicts a miss stream
+// without performing any prefetching — the methodology of Fig 5 ("we
+// run each ULMT algorithm simply observing all L2 cache miss
+// addresses without performing prefetching", §5.1). A prediction made
+// after miss i at level k is correct when miss i+k matches one of the
+// level-k addresses.
+type Predictor interface {
+	Name() string
+	Levels() int
+	// Consume processes the next miss and returns, for each level
+	// k (index k-1), whether this miss was predicted k misses ago.
+	Consume(m mem.Line) []bool
+}
+
+// tracked implements the bookkeeping shared by all predictors: a ring
+// of the last Levels prediction sets.
+type tracked struct {
+	name   string
+	levels int
+	// hist[d] holds the per-level predictions made d+1 misses ago.
+	hist [][][]mem.Line
+	// learn folds the miss into the underlying model; predict then
+	// returns the per-level predictions for the upcoming misses.
+	learn   func(m mem.Line)
+	predict func(m mem.Line) [][]mem.Line
+	scratch []bool
+}
+
+func newTracked(name string, levels int, learn func(mem.Line), predict func(mem.Line) [][]mem.Line) *tracked {
+	return &tracked{
+		name:    name,
+		levels:  levels,
+		hist:    make([][][]mem.Line, levels),
+		learn:   learn,
+		predict: predict,
+		scratch: make([]bool, levels),
+	}
+}
+
+// Name implements Predictor.
+func (t *tracked) Name() string { return t.name }
+
+// Levels implements Predictor.
+func (t *tracked) Levels() int { return t.levels }
+
+// Consume implements Predictor.
+func (t *tracked) Consume(m mem.Line) []bool {
+	for k := 1; k <= t.levels; k++ {
+		t.scratch[k-1] = false
+		preds := t.hist[k-1] // made k misses ago
+		if preds == nil || len(preds) < k {
+			continue
+		}
+		for _, cand := range preds[k-1] {
+			if cand == m {
+				t.scratch[k-1] = true
+				break
+			}
+		}
+	}
+	t.learn(m)
+	p := t.predict(m)
+	// Shift history: predictions made k misses ago become k+1.
+	copy(t.hist[1:], t.hist)
+	t.hist[0] = clonePreds(p)
+	return t.scratch
+}
+
+func clonePreds(p [][]mem.Line) [][]mem.Line {
+	out := make([][]mem.Line, len(p))
+	for i, lv := range p {
+		out[i] = append([]mem.Line(nil), lv...)
+	}
+	return out
+}
+
+// NewBasePredictor predicts only the immediate successor level using
+// the conventional table.
+func NewBasePredictor(p table.Params) Predictor {
+	t := table.NewBase(p, 0)
+	var sink table.NullSink
+	return newTracked("Base", 1,
+		func(m mem.Line) { t.Learn(m, sink) },
+		func(m mem.Line) [][]mem.Line {
+			return [][]mem.Line{t.Successors(m, sink)}
+		})
+}
+
+// NewChainPredictor predicts levels by walking the MRU path, like the
+// Chain prefetching step.
+func NewChainPredictor(p table.Params, levels int) Predictor {
+	t := table.NewBase(p, 0)
+	var sink table.NullSink
+	return newTracked("Chain", levels,
+		func(m mem.Line) { t.Learn(m, sink) },
+		func(m mem.Line) [][]mem.Line {
+			out := make([][]mem.Line, levels)
+			cur := m
+			for k := 0; k < levels; k++ {
+				succ := t.Successors(cur, sink)
+				if len(succ) == 0 {
+					break
+				}
+				out[k] = succ
+				cur = succ[0]
+			}
+			return out
+		})
+}
+
+// NewReplPredictor predicts each level from the true-MRU per-level
+// lists of the Replicated table.
+func NewReplPredictor(p table.Params) Predictor {
+	t := table.NewRepl(p, 0)
+	var sink table.NullSink
+	return newTracked("Repl", p.NumLevels,
+		func(m mem.Line) { t.Learn(m, sink) },
+		func(m mem.Line) [][]mem.Line { return t.Levels(m, sink) })
+}
+
+// NewSeqPredictor predicts level k as "k lines further along each
+// active stream": for a sequential prefetcher a prediction is correct
+// when "the upcoming miss address matches the next address predicted
+// by one of the streams identified" (§5.1).
+func NewSeqPredictor(numSeq, levels int) Predictor {
+	q := NewSeq(numSeq, 6, 0)
+	var sink table.NullSink
+	discard := func(mem.Line) {}
+	return newTracked(q.Name(), levels,
+		func(m mem.Line) {
+			// Prefetch advances matching streams; Learn runs stream
+			// detection. Both charge the null sink.
+			q.Prefetch(m, sink, discard)
+			q.Learn(m, sink)
+		},
+		func(m mem.Line) [][]mem.Line {
+			out := make([][]mem.Line, levels)
+			for k := 0; k < levels; k++ {
+				for i := range q.streams {
+					r := &q.streams[i]
+					if r.valid {
+						out[k] = append(out[k], mem.Line(int64(r.expected)+int64(k)*r.stride))
+					}
+				}
+			}
+			return out
+		})
+}
+
+// orPredictor combines predictors: a level is correct when any
+// component predicted it, modeling combinations like Seq4+Repl.
+type orPredictor struct {
+	name string
+	subs []Predictor
+	lv   int
+}
+
+// NewCombinedPredictor ORs the given predictors.
+func NewCombinedPredictor(name string, subs ...Predictor) Predictor {
+	lv := 0
+	for _, s := range subs {
+		if s.Levels() > lv {
+			lv = s.Levels()
+		}
+	}
+	return &orPredictor{name: name, subs: subs, lv: lv}
+}
+
+// Name implements Predictor.
+func (o *orPredictor) Name() string { return o.name }
+
+// Levels implements Predictor.
+func (o *orPredictor) Levels() int { return o.lv }
+
+// Consume implements Predictor.
+func (o *orPredictor) Consume(m mem.Line) []bool {
+	out := make([]bool, o.lv)
+	for _, s := range o.subs {
+		for k, ok := range s.Consume(m) {
+			if ok {
+				out[k] = true
+			}
+		}
+	}
+	return out
+}
+
+// Accuracy runs a predictor over a miss trace and returns the
+// fraction of misses correctly predicted at each level — one Fig 5
+// bar group.
+func Accuracy(p Predictor, trace []mem.Line) []float64 {
+	correct := make([]uint64, p.Levels())
+	for _, m := range trace {
+		for k, ok := range p.Consume(m) {
+			if ok {
+				correct[k]++
+			}
+		}
+	}
+	out := make([]float64, p.Levels())
+	if len(trace) == 0 {
+		return out
+	}
+	for k := range out {
+		out[k] = float64(correct[k]) / float64(len(trace))
+	}
+	return out
+}

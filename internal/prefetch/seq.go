@@ -1,0 +1,165 @@
+package prefetch
+
+import (
+	"ulmt/internal/mem"
+	"ulmt/internal/table"
+)
+
+// Seq is sequential multi-stream prefetching implemented in software
+// as a ULMT algorithm (Table 4's Seq1 and Seq4): it observes the L2
+// miss stream, detects up to NumSeq concurrent unit-stride streams
+// (stride +1 or -1 in L2 lines), and on each miss that matches a
+// stream prefetches the next NumPref lines.
+//
+// Detection follows the paper's processor-side prefetcher: a stream
+// is recognized when the third miss in a sequence is observed, and a
+// register per stream holds the next expected address.
+type Seq struct {
+	NumSeq  int
+	NumPref int
+
+	streams []streamReg
+	// cand tracks run lengths for stream detection, keyed by the
+	// line that would extend the run, separately per stride.
+	candUp   map[mem.Line]int
+	candDown map[mem.Line]int
+	tick     uint64
+
+	// StateBase is where the stream registers live in the ULMT's
+	// simulated memory, so state accesses have a cost like any other
+	// software structure. Stream state is tiny and hot, so it is
+	// effectively always cached — but it is charged, not free.
+	StateBase mem.Addr
+}
+
+type streamReg struct {
+	valid    bool
+	expected mem.Line
+	stride   int64
+	lru      uint64
+}
+
+// NewSeq builds a sequential ULMT algorithm with NumSeq streams
+// prefetching NumPref lines ahead.
+func NewSeq(numSeq, numPref int, stateBase mem.Addr) *Seq {
+	if numSeq < 1 || numPref < 1 {
+		panic("prefetch: Seq needs NumSeq, NumPref >= 1")
+	}
+	return &Seq{
+		NumSeq:    numSeq,
+		NumPref:   numPref,
+		streams:   make([]streamReg, numSeq),
+		candUp:    make(map[mem.Line]int),
+		candDown:  make(map[mem.Line]int),
+		StateBase: stateBase,
+	}
+}
+
+// Name implements Algorithm.
+func (q *Seq) Name() string {
+	if q.NumSeq == 1 {
+		return "Seq1"
+	}
+	if q.NumSeq == 4 {
+		return "Seq4"
+	}
+	return "Seq"
+}
+
+// regBytes is the simulated size of one stream register record.
+const regBytes = 16
+
+// Prefetch implements Algorithm: if m matches (or lands slightly
+// ahead of) a stream's expected address, prefetch the next NumPref
+// lines and advance the register.
+func (q *Seq) Prefetch(m mem.Line, s table.Sink, emit func(mem.Line)) {
+	q.tick++
+	s.Instr(table.InstrLoop)
+	for i := range q.streams {
+		r := &q.streams[i]
+		s.Instr(3)
+		s.Touch(q.StateBase+mem.Addr(i*regBytes), regBytes, false)
+		if !r.valid {
+			continue
+		}
+		d := (int64(m) - int64(r.expected)) * r.stride
+		if d < 0 || d >= int64(q.NumPref) {
+			continue
+		}
+		// Match: slide the window from the miss.
+		for k := 1; k <= q.NumPref; k++ {
+			emit(mem.Line(int64(m) + int64(k)*r.stride))
+			s.Instr(2)
+		}
+		r.expected = mem.Line(int64(m) + r.stride)
+		r.lru = q.tick
+		s.Touch(q.StateBase+mem.Addr(i*regBytes), regBytes, true)
+		return
+	}
+}
+
+// Learn implements Algorithm: run stream detection on the miss.
+func (q *Seq) Learn(m mem.Line, s table.Sink) {
+	q.tick++
+	s.Instr(6)
+	if q.extend(m, +1, q.candUp, s) {
+		return
+	}
+	if q.extend(m, -1, q.candDown, s) {
+		return
+	}
+	// Start runs in both directions from this miss.
+	q.candUp[m+1] = 1
+	q.candDown[m-1] = 1
+	q.trimCandidates()
+}
+
+func (q *Seq) extend(m mem.Line, stride int64, cand map[mem.Line]int, s table.Sink) bool {
+	run, ok := cand[m]
+	if !ok {
+		return false
+	}
+	delete(cand, m)
+	run++
+	if run >= 3 {
+		// Third miss in sequence: allocate a stream register.
+		q.allocate(mem.Line(int64(m)+stride), stride, s)
+		return true
+	}
+	cand[mem.Line(int64(m)+stride)] = run
+	return true
+}
+
+func (q *Seq) allocate(expected mem.Line, stride int64, s table.Sink) {
+	victim, oldest := 0, uint64(1<<64-1)
+	for i := range q.streams {
+		r := &q.streams[i]
+		if r.valid && r.expected == expected && r.stride == stride {
+			return // already tracking
+		}
+		if !r.valid {
+			victim, oldest = i, 0
+			continue
+		}
+		if r.lru < oldest {
+			oldest = r.lru
+			victim = i
+		}
+	}
+	q.streams[victim] = streamReg{valid: true, expected: expected, stride: stride, lru: q.tick}
+	s.Touch(q.StateBase+mem.Addr(victim*regBytes), regBytes, true)
+	s.Instr(4)
+}
+
+// trimCandidates bounds the detection state like fixed hardware
+// would; keeping it small also keeps behavior deterministic under
+// long runs with noisy miss streams.
+func (q *Seq) trimCandidates() {
+	const maxCand = 64
+	if len(q.candUp) > maxCand {
+		q.candUp = make(map[mem.Line]int)
+	}
+	if len(q.candDown) > maxCand {
+		q.candDown = make(map[mem.Line]int)
+	}
+}

@@ -1,0 +1,168 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ulmt/internal/mem"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := New("t", 4)
+	for i := 1; i <= 3; i++ {
+		if !q.Push(Entry{Line: mem.Line(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Len() != 3 || q.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d", q.Len(), q.Cap())
+	}
+	if e, ok := q.Peek(); !ok || e.Line != 1 {
+		t.Fatalf("peek = %v %v", e, ok)
+	}
+	for i := 1; i <= 3; i++ {
+		e, ok := q.Pop()
+		if !ok || e.Line != mem.Line(i) {
+			t.Fatalf("pop %d = %v %v", i, e, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("pop on empty should fail")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("peek on empty should fail")
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	q := New("t", 2)
+	q.Push(Entry{Line: 1})
+	q.Push(Entry{Line: 2})
+	if q.Push(Entry{Line: 3}) {
+		t.Error("push beyond capacity should fail")
+	}
+	if q.Drops() != 1 {
+		t.Errorf("drops = %d", q.Drops())
+	}
+}
+
+func TestQueueContainsRemove(t *testing.T) {
+	q := New("t", 8)
+	q.Push(Entry{Line: 10})
+	q.Push(Entry{Line: 20})
+	q.Push(Entry{Line: 10})
+	if !q.ContainsLine(20) || q.ContainsLine(30) {
+		t.Error("ContainsLine wrong")
+	}
+	e, ok := q.RemoveLine(10)
+	if !ok || e.Line != 10 {
+		t.Fatalf("RemoveLine = %v %v", e, ok)
+	}
+	// Only the first matching entry is removed.
+	if !q.ContainsLine(10) {
+		t.Error("second entry for line 10 should remain")
+	}
+	if _, ok := q.RemoveLine(99); ok {
+		t.Error("removing absent line should fail")
+	}
+	// Order preserved after removal.
+	if e, _ := q.Pop(); e.Line != 20 {
+		t.Errorf("head after removal = %v, want 20", e.Line)
+	}
+}
+
+func TestQueueZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 should panic")
+		}
+	}()
+	New("t", 0)
+}
+
+func TestFilterSemantics(t *testing.T) {
+	f := NewFilter(2)
+	if !f.Admit(1) {
+		t.Error("first admit should pass")
+	}
+	if f.Admit(1) {
+		t.Error("duplicate within window should drop")
+	}
+	if !f.Admit(2) || !f.Admit(3) {
+		t.Error("fresh lines should pass")
+	}
+	// 1 was evicted by 3 (capacity 2 FIFO), so it passes again.
+	if !f.Admit(1) {
+		t.Error("line outside the FIFO window should pass again")
+	}
+	if f.Passed() != 4 || f.Dropped() != 1 {
+		t.Errorf("passed=%d dropped=%d", f.Passed(), f.Dropped())
+	}
+	if f.Len() != 2 {
+		t.Errorf("len = %d", f.Len())
+	}
+}
+
+func TestFilterUnmodifiedOnDrop(t *testing.T) {
+	// The paper: on a hit "the request is dropped and the list is
+	// left unmodified" — so the entry does NOT move to the tail.
+	f := NewFilter(2)
+	f.Admit(1)
+	f.Admit(2)
+	f.Admit(1) // dropped; list must still be [1 2], not [2 1]
+	f.Admit(3) // evicts 1
+	if f.Admit(2) {
+		t.Error("2 must still be in the list (drop must not refresh LRU position)")
+	}
+	if !f.Admit(1) {
+		t.Error("1 must have been evicted by 3")
+	}
+}
+
+func TestFilterDisabled(t *testing.T) {
+	f := NewFilter(0)
+	for i := 0; i < 10; i++ {
+		if !f.Admit(7) {
+			t.Fatal("disabled filter must admit everything")
+		}
+	}
+	if f.Dropped() != 0 || f.Passed() != 10 {
+		t.Errorf("passed=%d dropped=%d", f.Passed(), f.Dropped())
+	}
+}
+
+func TestFilterNeverExceedsCapProperty(t *testing.T) {
+	f := func(lines []uint8) bool {
+		fl := NewFilter(32)
+		for _, l := range lines {
+			fl.Admit(mem.Line(l))
+			if fl.Len() > 32 {
+				return false
+			}
+		}
+		return fl.Passed()+fl.Dropped() == uint64(len(lines))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueLenBoundedProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := New("p", 5)
+		for _, push := range ops {
+			if push {
+				q.Push(Entry{Line: 1})
+			} else {
+				q.Pop()
+			}
+			if q.Len() > 5 || q.Len() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// StackedBar is one horizontal bar made of labeled segments, the text
+// rendering of one bar of the paper's stacked-bar figures.
+type StackedBar struct {
+	Label    string
+	Segments []float64
+}
+
+// BarChart renders horizontal stacked bars with a shared scale.
+type BarChart struct {
+	Title string
+	// SegmentNames label the stack components (e.g. Busy, UpToL2,
+	// BeyondL2); SegmentRunes draw them.
+	SegmentNames []string
+	SegmentRunes []rune
+	Bars         []StackedBar
+	// Width is the column budget for a bar of height Scale.
+	Width int
+	// Scale is the value mapped to Width columns; 0 auto-scales to
+	// the largest bar.
+	Scale float64
+}
+
+// DefaultSegmentRunes are visually distinct fills for up to five
+// segments.
+var DefaultSegmentRunes = []rune{'#', '=', '.', '+', '~'}
+
+// Fprint renders the chart.
+func (c *BarChart) Fprint(w io.Writer) {
+	if c.Width <= 0 {
+		c.Width = 50
+	}
+	runes := c.SegmentRunes
+	if len(runes) == 0 {
+		runes = DefaultSegmentRunes
+	}
+	scale := c.Scale
+	if scale <= 0 {
+		for _, b := range c.Bars {
+			t := 0.0
+			for _, s := range b.Segments {
+				t += s
+			}
+			if t > scale {
+				scale = t
+			}
+		}
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	if len(c.SegmentNames) > 0 {
+		var legend []string
+		for i, n := range c.SegmentNames {
+			legend = append(legend, fmt.Sprintf("%c=%s", runes[i%len(runes)], n))
+		}
+		fmt.Fprintf(w, "legend: %s\n", strings.Join(legend, " "))
+	}
+	labelW := 0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	for _, b := range c.Bars {
+		var sb strings.Builder
+		total := 0.0
+		for i, s := range b.Segments {
+			total += s
+			n := int(s/scale*float64(c.Width) + 0.5)
+			for j := 0; j < n; j++ {
+				sb.WriteRune(runes[i%len(runes)])
+			}
+		}
+		fmt.Fprintf(w, "%s |%s %0.2f\n", pad(b.Label, labelW), sb.String(), total)
+	}
+	fmt.Fprintln(w)
+}

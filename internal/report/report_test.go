@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		Title:  "Demo",
+		Header: []string{"Name", "Value"},
+	}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") || !strings.Contains(lines[1], "Value") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	if !strings.Contains(out, "alpha  1.50") {
+		t.Errorf("float row misformatted:\n%s", out)
+	}
+	if !strings.Contains(out, "b      42") {
+		t.Errorf("alignment broken:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := Table{Header: []string{"X"}}
+	tb.AddRow("y")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	if strings.HasPrefix(sb.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Pct(0.1234) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.1234))
+	}
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
+		t.Errorf("F2 = %q", F2(1.005))
+	}
+	if F1(2.25) != "2.2" && F1(2.25) != "2.3" {
+		t.Errorf("F1 = %q", F1(2.25))
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := BarChart{
+		Title:        "demo",
+		SegmentNames: []string{"a", "b"},
+		Bars: []StackedBar{
+			{Label: "x", Segments: []float64{0.5, 0.5}},
+			{Label: "longer", Segments: []float64{0.25, 0.25}},
+		},
+		Width: 20,
+		Scale: 1,
+	}
+	var sb strings.Builder
+	c.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "legend: #=a ==b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x      |##########========== 1.00") {
+		t.Errorf("bar misrendered:\n%s", out)
+	}
+	if !strings.Contains(out, "longer |#####===== 0.50") {
+		t.Errorf("second bar misrendered:\n%s", out)
+	}
+	// Auto-scale path.
+	auto := BarChart{Bars: []StackedBar{{Label: "y", Segments: []float64{2}}}}
+	var sb2 strings.Builder
+	auto.Fprint(&sb2)
+	if !strings.Contains(sb2.String(), "2.00") {
+		t.Errorf("auto-scaled chart wrong:\n%s", sb2.String())
+	}
+	// Empty chart must not panic.
+	(&BarChart{}).Fprint(&strings.Builder{})
+}

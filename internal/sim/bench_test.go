@@ -1,0 +1,26 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineChain(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < b.N {
+			e.After(1, chain)
+		}
+	}
+	e.At(0, chain)
+	e.Run()
+}
+
+func BenchmarkEngineFanOut(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.At(Cycle(i%1024), func() {})
+	}
+	b.ResetTimer()
+	e.Run()
+}

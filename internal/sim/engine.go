@@ -1,0 +1,121 @@
+// Package sim provides the discrete-event simulation core: a cycle
+// clock and an event queue with deterministic ordering.
+//
+// The whole machine is clocked in 1.6 GHz main-processor cycles, the
+// unit the paper reports every time in ("All cycles are 1.6 GHz
+// cycles", Table 3). Components that run at other frequencies (the
+// 400 MHz bus, the 800 MHz memory processor) convert to main cycles at
+// their boundary.
+//
+// Events scheduled for the same cycle fire in the order they were
+// scheduled, which keeps every simulation run bit-for-bit
+// reproducible regardless of map iteration order or GC timing.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, in 1.6 GHz main-processor
+// cycles. It is signed so that subtraction is safe in intermediate
+// expressions; the engine never runs at negative time.
+type Cycle int64
+
+// Forever is a sentinel meaning "no deadline".
+const Forever Cycle = 1<<62 - 1
+
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Engine is the event-driven simulation kernel. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an engine at cycle 0 with an empty event queue.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// At schedules fn to run at cycle c. Scheduling in the past is a
+// programming error and panics, because it would silently corrupt
+// causality in the pipeline models.
+func (e *Engine) At(c Cycle, fn func()) {
+	if c < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.events.pushEvent(event{at: c, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Cycle, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step fires the next event, advancing the clock to its cycle. It
+// reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := e.events.popEvent()
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events whose time is <= deadline, then stops with the
+// clock at min(deadline, last event time). Events scheduled beyond the
+// deadline remain queued.
+func (e *Engine) RunUntil(deadline Cycle) {
+	for e.events.Len() > 0 && e.events.peek().at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Fired reports the total number of events executed, a cheap progress
+// and regression metric for tests and benchmarks.
+func (e *Engine) Fired() uint64 { return e.fired }

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBins(t *testing.T) {
+	h := MissDistanceHistogram()
+	h.Add(0)
+	h.Add(79)
+	h.Add(80)
+	h.Add(199)
+	h.Add(200)
+	h.Add(279)
+	h.Add(280)
+	h.Add(1 << 40)
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	wantCounts := []uint64{2, 2, 2, 2}
+	for i, w := range wantCounts {
+		if h.Count(i) != w {
+			t.Errorf("bin %d count = %d, want %d", i, h.Count(i), w)
+		}
+		if h.Frac(i) != 0.25 {
+			t.Errorf("bin %d frac = %f", i, h.Frac(i))
+		}
+	}
+	bins := h.Bins()
+	if bins[0].Label != "[0,80)" || bins[3].Label != "[280,inf)" {
+		t.Errorf("labels = %q, %q", bins[0].Label, bins[3].Label)
+	}
+}
+
+func TestHistogramClampsBelow(t *testing.T) {
+	h := NewHistogram(10, 20)
+	h.Add(-5)
+	if h.Count(0) != 1 {
+		t.Error("value below first edge should land in bin 0")
+	}
+}
+
+func TestHistogramFracsSumToOneProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := MissDistanceHistogram()
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		if len(vals) == 0 {
+			return h.Total() == 0
+		}
+		sum := 0.0
+		for i := 0; i < 4; i++ {
+			sum += h.Frac(i)
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, edges := range [][]int64{{}, {5, 5}, {5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("edges %v did not panic", edges)
+				}
+			}()
+			NewHistogram(edges...)
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := MissDistanceHistogram()
+	h.Add(100)
+	s := h.String()
+	if !strings.Contains(s, "[80,200)=100.0%") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestPrefetchOutcomesCoverage(t *testing.T) {
+	p := PrefetchOutcomes{Hits: 30, DelayedHits: 20}
+	if got := p.Coverage(100); got != 0.5 {
+		t.Errorf("coverage = %f, want 0.5", got)
+	}
+	if got := p.Coverage(0); got != 0 {
+		t.Errorf("coverage with no misses = %f", got)
+	}
+}
+
+func TestBusStats(t *testing.T) {
+	b := BusStats{BusyCycles: 200, PrefetchCycles: 50}
+	if got := b.Utilization(1000); got != 0.2 {
+		t.Errorf("utilization = %f", got)
+	}
+	if got := b.PrefetchShare(1000); got != 0.05 {
+		t.Errorf("prefetch share = %f", got)
+	}
+	if b.Utilization(0) != 0 || b.PrefetchShare(-1) != 0 {
+		t.Error("zero-length runs must report zero utilization")
+	}
+}
+
+func TestULMTStats(t *testing.T) {
+	u := ULMTStats{
+		MissesProcessed: 10,
+		ResponseBusy:    100, ResponseMem: 200,
+		OccupancyBusy: 300, OccupancyMem: 700,
+		Instructions: 500,
+	}
+	if got := u.AvgResponse(); got != 30 {
+		t.Errorf("avg response = %f, want 30", got)
+	}
+	if got := u.AvgOccupancy(); got != 100 {
+		t.Errorf("avg occupancy = %f, want 100", got)
+	}
+	// IPC: 500 instructions over (300+700)/2 = 500 memproc cycles.
+	if got := u.IPC(); got != 1.0 {
+		t.Errorf("IPC = %f, want 1.0", got)
+	}
+	var zero ULMTStats
+	if zero.AvgResponse() != 0 || zero.AvgOccupancy() != 0 || zero.IPC() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+}
+
+func TestExecBreakdown(t *testing.T) {
+	e := ExecBreakdown{Busy: 100, UpToL2: 200, BeyondL2: 700}
+	if e.Total() != 1000 {
+		t.Errorf("total = %d", e.Total())
+	}
+	b, u, m := e.Normalized(2000)
+	if b != 0.05 || u != 0.1 || m != 0.35 {
+		t.Errorf("normalized = %f %f %f", b, u, m)
+	}
+	b, u, m = e.Normalized(0)
+	if b != 0 || u != 0 || m != 0 {
+		t.Error("zero base must normalize to zero")
+	}
+}

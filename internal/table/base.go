@@ -1,0 +1,184 @@
+package table
+
+import "ulmt/internal/mem"
+
+// BaseTable is the conventional pair-based correlation table of
+// Joseph and Grunwald (§2.2): each row holds the tag of a miss
+// address and the MRU-ordered set of its observed immediate
+// successors. Base prefetches one row's successors; Chain walks
+// MRU successors across rows for NumLevels levels.
+type BaseTable struct {
+	p        Params
+	sets     [][]baseRow
+	setMask  uint64
+	base     mem.Addr
+	rowBytes int
+
+	lastMiss mem.Line
+	hasLast  bool
+	tick     uint64
+	st       Stats
+}
+
+type baseRow struct {
+	tag   mem.Line
+	valid bool
+	lru   uint64
+	succ  []mem.Line // MRU order; index 0 most recent
+}
+
+// NewBase builds an empty table whose rows are laid out in simulated
+// memory starting at base.
+func NewBase(p Params, base mem.Addr) *BaseTable {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	t := &BaseTable{
+		p:        p,
+		base:     base,
+		rowBytes: tagWordBytes + p.NumSucc*succWordBytes,
+	}
+	nsets := p.NumRows / p.Assoc
+	t.setMask = uint64(nsets - 1)
+	t.sets = make([][]baseRow, nsets)
+	rows := make([]baseRow, p.NumRows)
+	for i := range t.sets {
+		t.sets[i] = rows[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
+	}
+	return t
+}
+
+// Params returns the table geometry.
+func (t *BaseTable) Params() Params { return t.p }
+
+// RowBytes returns the simulated size of one row.
+func (t *BaseTable) RowBytes() int { return t.rowBytes }
+
+// SizeBytes returns the simulated footprint of the whole table — the
+// quantity Table 2 reports in megabytes.
+func (t *BaseTable) SizeBytes() int { return t.p.NumRows * t.rowBytes }
+
+// setIndex applies the paper's trivial hash: the lower bits of the
+// line address.
+func (t *BaseTable) setIndex(l mem.Line) uint64 { return uint64(l) & t.setMask }
+
+func (t *BaseTable) rowAddr(set, way int) mem.Addr {
+	idx := set*t.p.Assoc + way
+	return t.base + mem.Addr(idx*t.rowBytes)
+}
+
+// probe searches the set for a row tagged l, charging the associative
+// search to the sink. It returns the set index and way, or way = -1.
+func (t *BaseTable) probe(l mem.Line, s Sink) (set, way int) {
+	set = int(t.setIndex(l))
+	ways := t.sets[set]
+	for w := range ways {
+		s.Instr(InstrProbeWay)
+		s.Touch(t.rowAddr(set, w), tagWordBytes, false)
+		if ways[w].valid && ways[w].tag == l {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// findOrAlloc returns the row for l, allocating (possibly replacing
+// the LRU way) when absent.
+func (t *BaseTable) findOrAlloc(l mem.Line, s Sink) (set, way int) {
+	set, way = t.probe(l, s)
+	if way >= 0 {
+		return set, way
+	}
+	ways := t.sets[set]
+	victim, oldest := 0, uint64(1<<64-1)
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			oldest = 0
+			break
+		}
+		if ways[w].lru < oldest {
+			oldest = ways[w].lru
+			victim = w
+		}
+	}
+	t.st.Insertions++
+	if ways[victim].valid {
+		t.st.Replacements++
+	}
+	s.Instr(InstrAllocRow)
+	s.Touch(t.rowAddr(set, victim), t.rowBytes, true)
+	ways[victim] = baseRow{tag: l, valid: true, succ: ways[victim].succ[:0]}
+	return set, victim
+}
+
+// Learn records miss m: m becomes the MRU immediate successor of the
+// previous miss, and a row is allocated for m itself unless present
+// (§2.2 Base algorithm, Fig 4-(a) steps (i) and (ii)).
+func (t *BaseTable) Learn(m mem.Line, s Sink) {
+	t.tick++
+	if t.hasLast && t.lastMiss != m {
+		set, way := t.findOrAlloc(t.lastMiss, s)
+		row := &t.sets[set][way]
+		row.lru = t.tick
+		t.insertSucc(row, m, s)
+		s.Touch(t.rowAddr(set, way)+tagWordBytes, t.p.NumSucc*succWordBytes, true)
+	}
+	set, way := t.findOrAlloc(m, s)
+	t.sets[set][way].lru = t.tick
+	t.lastMiss = m
+	t.hasLast = true
+}
+
+// insertSucc puts m at the MRU position of row's successor list,
+// deduplicating (successors "replace each other with a LRU policy",
+// §2.2, i.e. an existing entry moves to the front).
+func (t *BaseTable) insertSucc(row *baseRow, m mem.Line, s Sink) {
+	t.st.SuccUpdates++
+	s.Instr(InstrInsertSucc)
+	for i, e := range row.succ {
+		if e == m {
+			copy(row.succ[1:i+1], row.succ[:i])
+			row.succ[0] = m
+			return
+		}
+	}
+	if len(row.succ) < t.p.NumSucc {
+		row.succ = append(row.succ, 0)
+	}
+	copy(row.succ[1:], row.succ)
+	row.succ[0] = m
+}
+
+// Successors returns the MRU-ordered successors recorded for m,
+// charging one associative search plus the successor reads. The
+// returned slice aliases table state and must not be retained.
+func (t *BaseTable) Successors(m mem.Line, s Sink) []mem.Line {
+	t.st.Lookups++
+	set, way := t.probe(m, s)
+	if way < 0 {
+		return nil
+	}
+	t.st.LookupHits++
+	row := &t.sets[set][way]
+	row.lru = t.tick
+	s.Touch(t.rowAddr(set, way)+tagWordBytes, len(row.succ)*succWordBytes, false)
+	s.Instr(InstrReadSucc * len(row.succ))
+	return row.succ
+}
+
+// Stats returns a copy of the counters.
+func (t *BaseTable) Stats() Stats { return t.st }
+
+// Reset clears learning state but keeps geometry, for reuse across
+// trace passes.
+func (t *BaseTable) Reset() {
+	for si := range t.sets {
+		for wi := range t.sets[si] {
+			t.sets[si][wi] = baseRow{}
+		}
+	}
+	t.hasLast = false
+	t.tick = 0
+	t.st = Stats{}
+}

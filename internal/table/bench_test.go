@@ -1,0 +1,74 @@
+package table
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+)
+
+// Synthetic repeating miss sequence exercising steady-state learning
+// and lookup.
+func benchSeq(n int) []mem.Line {
+	seq := make([]mem.Line, n)
+	for i := range seq {
+		seq[i] = mem.Line(1000 + (i%512)*3)
+	}
+	return seq
+}
+
+func BenchmarkBaseLearn(b *testing.B) {
+	t := NewBase(BaseParams(1<<14), 0)
+	seq := benchSeq(4096)
+	var s NullSink
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Learn(seq[i%len(seq)], s)
+	}
+}
+
+func BenchmarkBaseSuccessors(b *testing.B) {
+	t := NewBase(BaseParams(1<<14), 0)
+	seq := benchSeq(4096)
+	var s NullSink
+	for _, m := range seq {
+		t.Learn(m, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Successors(seq[i%len(seq)], s)
+	}
+}
+
+func BenchmarkReplLearn(b *testing.B) {
+	t := NewRepl(ReplParams(1<<14), 0)
+	seq := benchSeq(4096)
+	var s NullSink
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Learn(seq[i%len(seq)], s)
+	}
+}
+
+func BenchmarkReplLearnNoPointers(b *testing.B) {
+	t := NewRepl(ReplParams(1<<14), 0)
+	t.UsePointers = false
+	seq := benchSeq(4096)
+	var s NullSink
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Learn(seq[i%len(seq)], s)
+	}
+}
+
+func BenchmarkReplLevels(b *testing.B) {
+	t := NewRepl(ReplParams(1<<14), 0)
+	seq := benchSeq(4096)
+	var s NullSink
+	for _, m := range seq {
+		t.Learn(m, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Levels(seq[i%len(seq)], s)
+	}
+}

@@ -1,0 +1,283 @@
+package table
+
+import "ulmt/internal/mem"
+
+// ReplTable is the paper's Replicated organization (§3.3.2): each row
+// stores the miss tag and NumLevels levels of successors, each level
+// MRU-ordered with true MRU at every level (information is replicated
+// across rows on purpose — storage in main memory is cheap).
+//
+// The table keeps NumLevels pointers to the rows of the last few
+// misses. Learning a new miss updates those rows through the pointers
+// — no associative search — while prefetching needs exactly one row
+// access. This shifts work from the time-critical Prefetching step to
+// the Learning step, which Table 1 and Fig 10 quantify.
+type ReplTable struct {
+	p        Params
+	sets     [][]replRow
+	setMask  uint64
+	base     mem.Addr
+	rowBytes int
+
+	// last[i] points at the row of the (i+1)-th most recent miss.
+	last []rowPtr
+	tick uint64
+	st   Stats
+
+	// UsePointers can be disabled for the ablation bench: learning
+	// then re-searches the table for each level like a naive port
+	// would, showing what the pointer optimization buys.
+	UsePointers bool
+}
+
+type rowPtr struct {
+	set, way int
+	tag      mem.Line
+	valid    bool
+}
+
+type replRow struct {
+	tag    mem.Line
+	valid  bool
+	lru    uint64
+	levels [][]mem.Line
+}
+
+// NewRepl builds an empty Replicated table at the given simulated
+// base address.
+func NewRepl(p Params, base mem.Addr) *ReplTable {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if p.NumLevels < 1 {
+		panic("table: Replicated needs NumLevels >= 1")
+	}
+	t := &ReplTable{
+		p:           p,
+		base:        base,
+		rowBytes:    tagWordBytes + p.NumLevels*p.NumSucc*succWordBytes,
+		last:        make([]rowPtr, p.NumLevels),
+		UsePointers: true,
+	}
+	nsets := p.NumRows / p.Assoc
+	t.setMask = uint64(nsets - 1)
+	t.sets = make([][]replRow, nsets)
+	rows := make([]replRow, p.NumRows)
+	for i := range t.sets {
+		t.sets[i] = rows[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
+	}
+	return t
+}
+
+// Params returns the table geometry.
+func (t *ReplTable) Params() Params { return t.p }
+
+// RowBytes returns the simulated size of one row (28 bytes at the
+// default NumLevels=3, NumSucc=2).
+func (t *ReplTable) RowBytes() int { return t.rowBytes }
+
+// SizeBytes returns the table's simulated footprint.
+func (t *ReplTable) SizeBytes() int { return t.p.NumRows * t.rowBytes }
+
+func (t *ReplTable) setIndex(l mem.Line) uint64 { return uint64(l) & t.setMask }
+
+func (t *ReplTable) rowAddr(set, way int) mem.Addr {
+	idx := set*t.p.Assoc + way
+	return t.base + mem.Addr(idx*t.rowBytes)
+}
+
+func (t *ReplTable) levelAddr(set, way, level int) mem.Addr {
+	return t.rowAddr(set, way) + mem.Addr(tagWordBytes+level*t.p.NumSucc*succWordBytes)
+}
+
+func (t *ReplTable) probe(l mem.Line, s Sink) (set, way int) {
+	set = int(t.setIndex(l))
+	ways := t.sets[set]
+	for w := range ways {
+		s.Instr(InstrProbeWay)
+		s.Touch(t.rowAddr(set, w), tagWordBytes, false)
+		if ways[w].valid && ways[w].tag == l {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+func (t *ReplTable) findOrAlloc(l mem.Line, s Sink) (set, way int) {
+	set, way = t.probe(l, s)
+	if way >= 0 {
+		return set, way
+	}
+	ways := t.sets[set]
+	victim, oldest := 0, uint64(1<<64-1)
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			oldest = 0
+			break
+		}
+		if ways[w].lru < oldest {
+			oldest = ways[w].lru
+			victim = w
+		}
+	}
+	t.st.Insertions++
+	if ways[victim].valid {
+		t.st.Replacements++
+	}
+	s.Instr(InstrAllocRow)
+	s.Touch(t.rowAddr(set, victim), t.rowBytes, true)
+	lv := ways[victim].levels
+	if lv == nil {
+		lv = make([][]mem.Line, t.p.NumLevels)
+	} else {
+		for i := range lv {
+			lv[i] = lv[i][:0]
+		}
+	}
+	ways[victim] = replRow{tag: l, valid: true, levels: lv}
+	return set, victim
+}
+
+// Learn records miss m (Fig 4-(c) steps (i) and (ii)): m is inserted
+// as the MRU level-(i+1) successor of the (i+1)-th most recent miss
+// via the last-miss pointers, then a row for m is found or allocated
+// and the pointers shift.
+func (t *ReplTable) Learn(m mem.Line, s Sink) {
+	t.tick++
+	for i := 0; i < t.p.NumLevels; i++ {
+		ptr := t.last[i]
+		if !ptr.valid || ptr.tag == m {
+			continue
+		}
+		var set, way int
+		if t.UsePointers {
+			// Pointer access: validate the row was not replaced
+			// under us, then update. No associative search.
+			set, way = ptr.set, ptr.way
+			s.Instr(2)
+			row := &t.sets[set][way]
+			if !row.valid || row.tag != ptr.tag {
+				continue // stale pointer; skip this level
+			}
+		} else {
+			// Ablation: naive re-search per level.
+			set, way = t.probe(ptr.tag, s)
+			if way < 0 {
+				continue
+			}
+		}
+		row := &t.sets[set][way]
+		t.insertSucc(row, i, m, s)
+		s.Touch(t.levelAddr(set, way, i), t.p.NumSucc*succWordBytes, true)
+	}
+	set, way := t.findOrAlloc(m, s)
+	t.sets[set][way].lru = t.tick
+	copy(t.last[1:], t.last)
+	t.last[0] = rowPtr{set: set, way: way, tag: m, valid: true}
+}
+
+func (t *ReplTable) insertSucc(row *replRow, level int, m mem.Line, s Sink) {
+	t.st.SuccUpdates++
+	s.Instr(InstrInsertSucc)
+	lv := row.levels[level]
+	for i, e := range lv {
+		if e == m {
+			copy(lv[1:i+1], lv[:i])
+			lv[0] = m
+			return
+		}
+	}
+	if len(lv) < t.p.NumSucc {
+		lv = append(lv, 0)
+	}
+	copy(lv[1:], lv)
+	lv[0] = m
+	row.levels[level] = lv
+}
+
+// Levels returns the per-level MRU-ordered successors recorded for m
+// with a single row access (Fig 4-(c) step (iii)). Level 0 holds
+// immediate successors. The returned slices alias table state.
+func (t *ReplTable) Levels(m mem.Line, s Sink) [][]mem.Line {
+	t.st.Lookups++
+	set, way := t.probe(m, s)
+	if way < 0 {
+		return nil
+	}
+	t.st.LookupHits++
+	row := &t.sets[set][way]
+	row.lru = t.tick
+	s.Touch(t.rowAddr(set, way)+tagWordBytes, t.p.NumLevels*t.p.NumSucc*succWordBytes, false)
+	n := 0
+	for _, lv := range row.levels {
+		n += len(lv)
+	}
+	s.Instr(InstrReadSucc * n)
+	return row.levels
+}
+
+// Relocate implements the page re-mapping hook of §3.4: the row
+// tagged with a line of the old physical page is moved to the
+// corresponding line of the new page, updating tag and pointers.
+// Successor entries pointing at the old page are rewritten too.
+func (t *ReplTable) Relocate(oldLine, newLine mem.Line, s Sink) bool {
+	set, way := t.probe(oldLine, s)
+	if way < 0 {
+		return false
+	}
+	row := t.sets[set][way]
+	// Remove from old location, reinstall under the new tag.
+	t.sets[set][way] = replRow{levels: t.sets[set][way].levels[:0:0]}
+	nset, nway := t.findOrAlloc(newLine, s)
+	dst := &t.sets[nset][nway]
+	dst.levels = row.levels
+	dst.lru = row.lru
+	s.Touch(t.rowAddr(nset, nway), t.rowBytes, true)
+	return true
+}
+
+// RewriteSuccessor replaces occurrences of oldLine with newLine in
+// every level of every row pointed to by the last-miss pointers; the
+// full-table sweep the OS handler would do is approximated by the
+// learning process ("the table will quickly update itself
+// automatically", §3.4).
+func (t *ReplTable) RewriteSuccessor(oldLine, newLine mem.Line, s Sink) int {
+	n := 0
+	for _, ptr := range t.last {
+		if !ptr.valid {
+			continue
+		}
+		row := &t.sets[ptr.set][ptr.way]
+		if !row.valid || row.tag != ptr.tag {
+			continue
+		}
+		for li := range row.levels {
+			for si := range row.levels[li] {
+				if row.levels[li][si] == oldLine {
+					row.levels[li][si] = newLine
+					s.Touch(t.levelAddr(ptr.set, ptr.way, li), succWordBytes, true)
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Stats returns a copy of the counters.
+func (t *ReplTable) Stats() Stats { return t.st }
+
+// Reset clears learning state but keeps geometry.
+func (t *ReplTable) Reset() {
+	for si := range t.sets {
+		for wi := range t.sets[si] {
+			t.sets[si][wi] = replRow{}
+		}
+	}
+	for i := range t.last {
+		t.last[i] = rowPtr{}
+	}
+	t.tick = 0
+	t.st = Stats{}
+}

@@ -1,0 +1,50 @@
+package table
+
+import "ulmt/internal/mem"
+
+// SizeRows finds the smallest power-of-two NumRows such that, when
+// the given L2-miss line trace is learned into a two-way
+// set-associative table with the trivial lower-bits hash, fewer than
+// maxReplaceFrac of the insertions replace an existing entry. This is
+// exactly the sizing rule behind the "NumRows (K)" column of Table 2
+// ("We have sized the number of rows in the table to be the lowest
+// power of two such that ... less than 5% of the insertions replace
+// an existing entry", §4).
+//
+// The probe uses the Base organization; the resulting NumRows is then
+// shared by Base, Chain and Replicated, whose sizes differ only in
+// row bytes, as in the paper.
+func SizeRows(trace []mem.Line, assoc int, maxReplaceFrac float64, minRows, maxRows int) (numRows int, rate float64) {
+	if assoc <= 0 {
+		assoc = 2
+	}
+	if minRows < assoc {
+		minRows = assoc
+	}
+	// Round minRows up to a power of two.
+	for minRows&(minRows-1) != 0 {
+		minRows++
+	}
+	var sink NullSink
+	for rows := minRows; ; rows *= 2 {
+		t := NewBase(Params{NumRows: rows, Assoc: assoc, NumSucc: 1, NumLevels: 1}, 0)
+		for _, m := range trace {
+			t.Learn(m, sink)
+		}
+		rate = t.Stats().ReplacementRate()
+		if rate < maxReplaceFrac || rows >= maxRows {
+			return rows, rate
+		}
+	}
+}
+
+// TableSizes reports the simulated footprint in bytes of the three
+// organizations at a shared NumRows, reproducing the last three
+// columns of Table 2 (20/12/28 bytes per row for Base/Chain/Repl on a
+// 32-bit machine).
+func TableSizes(numRows int) (base, chain, repl int) {
+	b := NewBase(BaseParams(numRows), 0)
+	c := NewBase(ChainParams(numRows), 0)
+	r := NewRepl(ReplParams(numRows), 0)
+	return b.SizeBytes(), c.SizeBytes(), r.SizeBytes()
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ulmt/internal/mem"
+	"ulmt/internal/workload"
+)
+
+// Op-stream serialization: lets a workload's dynamic reference stream
+// be recorded once and replayed through the timed simulator (or
+// shipped from an external tracer). Format: magic, varint count, then
+// per op a flag byte (kind | dep<<2), a signed varint address delta,
+// and for compute ops a uvarint work amount.
+
+const opMagic = "ULMTOPS1"
+
+// WriteOps serializes an op stream.
+func WriteOps(w io.Writer, ops []workload.Op) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(opMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(ops)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	prev := int64(0)
+	for i := range ops {
+		op := &ops[i]
+		flag := byte(op.Kind)
+		if op.Dep {
+			flag |= 1 << 2
+		}
+		if err := bw.WriteByte(flag); err != nil {
+			return err
+		}
+		if op.Kind == workload.Compute {
+			n := binary.PutUvarint(buf[:], uint64(op.Work))
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return err
+			}
+			continue
+		}
+		d := int64(op.Addr) - prev
+		prev = int64(op.Addr)
+		n := binary.PutVarint(buf[:], d)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadOps deserializes a stream written by WriteOps.
+func ReadOps(r io.Reader) ([]workload.Op, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(opMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading ops header: %w", err)
+	}
+	if string(hdr) != opMagic {
+		return nil, fmt.Errorf("trace: bad ops magic %q", hdr)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading ops count: %w", err)
+	}
+	const maxOps = 1 << 30
+	if count > maxOps {
+		return nil, fmt.Errorf("trace: implausible op count %d", count)
+	}
+	ops := make([]workload.Op, 0, count)
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading op %d: %w", i, err)
+		}
+		var op workload.Op
+		op.Kind = workload.Kind(flag & 3)
+		op.Dep = flag&(1<<2) != 0
+		if op.Kind == workload.Compute {
+			w, err := binary.ReadUvarint(br)
+			if err != nil || w > 1<<16 {
+				return nil, fmt.Errorf("trace: bad work at op %d: %w", i, err)
+			}
+			op.Work = uint16(w)
+		} else {
+			d, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad address at op %d: %w", i, err)
+			}
+			prev += d
+			if prev < 0 {
+				return nil, fmt.Errorf("trace: negative address at op %d", i)
+			}
+			op.Addr = addrFromInt(prev)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// addrFromInt converts a validated non-negative delta sum to an
+// address.
+func addrFromInt(v int64) (a mem.Addr) { return mem.Addr(uint64(v)) }

@@ -1,0 +1,128 @@
+// Package trace extracts and serializes L2 miss traces.
+//
+// Several experiments (Fig 5 predictability, Table 2 sizing) operate
+// on the sequence of L2 miss line addresses alone, with no timing.
+// Extracting that sequence with a functional (timing-free) cache pass
+// is orders of magnitude faster than full simulation and — because
+// the functional hierarchy uses the same geometry and the same page
+// mapping — produces the same miss stream the timed system sees from
+// a single in-order walk of the op stream.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ulmt/internal/cache"
+	"ulmt/internal/mem"
+	"ulmt/internal/workload"
+)
+
+// Config selects the hierarchy geometry for extraction.
+type Config struct {
+	L1, L2      cache.Config
+	LinearPages bool
+	Seed        uint64
+}
+
+// L2Misses walks the op stream through a functional L1+L2 and
+// returns, in order, the physical L2 line address of every demand
+// miss that would go to memory.
+func L2Misses(ops []workload.Op, cfg Config) []mem.Line {
+	l1 := cache.New(cfg.L1)
+	l2 := cache.New(cfg.L2)
+	mapper := mem.NewPageMapper(cfg.LinearPages, cfg.Seed)
+	var out []mem.Line
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind == workload.Compute {
+			continue
+		}
+		write := op.Kind == workload.Store
+		pa := mapper.Translate(op.Addr)
+		l1l := mem.LineOf(pa, cfg.L1.Line)
+		if l1.Access(l1l, write).Hit {
+			continue
+		}
+		l2l := mem.Rescale(l1l, cfg.L1.Line, cfg.L2.Line)
+		if !l2.Access(l2l, false).Hit {
+			out = append(out, l2l)
+			l2.Fill(l2l, false, false)
+		}
+		l1.Fill(l1l, write, false)
+		// Functional pass: dirty victims simply vanish (write-back
+		// traffic does not change the miss address sequence the
+		// predictors see; the paper's algorithms ignore write-backs).
+		for {
+			if _, ok := l1.PopWB(); !ok {
+				break
+			}
+		}
+		for {
+			if _, ok := l2.PopWB(); !ok {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// magic identifies the trace file format.
+const magic = "ULMTTRC1"
+
+// Write serializes a miss trace with delta-varint encoding — miss
+// streams have heavy locality, so deltas compress well.
+func Write(w io.Writer, lines []mem.Line) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(lines)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	prev := int64(0)
+	for _, l := range lines {
+		d := int64(l) - prev
+		prev = int64(l)
+		n := binary.PutVarint(buf[:], d)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) ([]mem.Line, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxTrace = 1 << 30
+	if count > maxTrace {
+		return nil, fmt.Errorf("trace: implausible length %d", count)
+	}
+	out := make([]mem.Line, 0, count)
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading entry %d: %w", i, err)
+		}
+		prev += d
+		out = append(out, mem.Line(prev))
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ulmt/internal/cache"
+	"ulmt/internal/mem"
+	"ulmt/internal/workload"
+)
+
+func testConfig() Config {
+	return Config{
+		L1:          cache.Config{SizeBytes: 1 << 10, Assoc: 2, Line: mem.LineSize32, MSHRs: 4, WBQDepth: 4},
+		L2:          cache.Config{SizeBytes: 4 << 10, Assoc: 4, Line: mem.LineSize64, MSHRs: 8, WBQDepth: 8},
+		LinearPages: true,
+	}
+}
+
+func TestL2MissesColdAndCapacity(t *testing.T) {
+	b := workload.NewBuilder()
+	base := b.Alloc(64 * 1024)
+	// Touch 1024 distinct 64B lines: all cold misses past a 4KB L2.
+	for i := 0; i < 1024; i++ {
+		b.Load(base + mem.Addr(i*64))
+	}
+	tr := L2Misses(b.Ops(), testConfig())
+	if len(tr) != 1024 {
+		t.Fatalf("misses = %d, want 1024 cold misses", len(tr))
+	}
+	// Misses must be distinct and ascending for a linear sweep under
+	// linear paging.
+	for i := 1; i < len(tr); i++ {
+		if tr[i] != tr[i-1]+1 {
+			t.Fatalf("trace not sequential at %d: %v -> %v", i, tr[i-1], tr[i])
+		}
+	}
+}
+
+func TestL2MissesCacheFiltering(t *testing.T) {
+	b := workload.NewBuilder()
+	base := b.Alloc(1024)
+	// A tiny loop that fits both caches: only cold misses.
+	for rep := 0; rep < 10; rep++ {
+		for i := 0; i < 8; i++ {
+			b.Load(base + mem.Addr(i*64))
+		}
+	}
+	tr := L2Misses(b.Ops(), testConfig())
+	if len(tr) != 8 {
+		t.Fatalf("misses = %d, want 8 (everything else hits)", len(tr))
+	}
+}
+
+func TestL2MissesComputeIgnored(t *testing.T) {
+	b := workload.NewBuilder()
+	b.Work(100)
+	if tr := L2Misses(b.Ops(), testConfig()); len(tr) != 0 {
+		t.Errorf("compute-only stream produced misses: %v", tr)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	lines := []mem.Line{5, 1, 1000000, 2, 2, 999, 1 << 40}
+	var buf bytes.Buffer
+	if err := Write(&buf, lines); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lines) {
+		t.Fatalf("length %d != %d", len(got), len(lines))
+	}
+	for i := range lines {
+		if got[i] != lines[i] {
+			t.Fatalf("entry %d: %v != %v", i, got[i], lines[i])
+		}
+	}
+}
+
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		lines := make([]mem.Line, len(raw))
+		for i, v := range raw {
+			lines[i] = mem.Line(v)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, lines); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(lines) {
+			return false
+		}
+		for i := range lines {
+			if got[i] != lines[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	Write(&buf, []mem.Line{1, 2, 3})
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestTraceMatchesWorkloadDeterminism(t *testing.T) {
+	w, _ := workload.ByName("Mcf")
+	ops := w.Generate(workload.ScaleTiny)
+	cfg := testConfig()
+	cfg.LinearPages = false
+	cfg.Seed = 3
+	a := L2Misses(ops, cfg)
+	b := L2Misses(ops, cfg)
+	if len(a) != len(b) {
+		t.Fatal("trace extraction not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace extraction not deterministic")
+		}
+	}
+}
+
+func TestOpsRoundTrip(t *testing.T) {
+	b := workload.NewBuilder()
+	base := b.Alloc(4096)
+	b.Work(100)
+	b.Load(base)
+	b.LoadDep(base + 64)
+	b.Store(base + 128)
+	b.Work(70000) // splits into multiple compute ops
+	b.Load(base + 4)
+	ops := b.Ops()
+
+	var buf bytes.Buffer
+	if err := WriteOps(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOps(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("length %d != %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestOpsRoundTripWorkload(t *testing.T) {
+	w, _ := workload.ByName("Gap")
+	ops := w.Generate(workload.ScaleTiny)
+	var buf bytes.Buffer
+	if err := WriteOps(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOps(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workloadFingerprint(got) != workloadFingerprint(ops) {
+		t.Fatal("round trip changed the stream")
+	}
+}
+
+// workloadFingerprint hashes an op stream (mirrors the workload
+// package's golden fingerprint).
+func workloadFingerprint(ops []workload.Op) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) { h ^= v; h *= 1099511628211 }
+	for i := range ops {
+		op := &ops[i]
+		mix(uint64(op.Addr))
+		mix(uint64(op.Work))
+		mix(uint64(op.Kind))
+		if op.Dep {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}
+
+func TestOpsRejectsGarbage(t *testing.T) {
+	if _, err := ReadOps(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	b := workload.NewBuilder()
+	a := b.Alloc(64)
+	b.Load(a)
+	WriteOps(&buf, b.Ops())
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if _, err := ReadOps(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated ops accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+)
+
+// Fingerprint hashes an op stream (FNV-1a over the op fields): a
+// cheap identity for regression-locking the generators. If a kernel
+// changes on purpose, update the golden value below — a silent change
+// would otherwise invalidate recorded experiment results.
+func Fingerprint(ops []Op) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for i := range ops {
+		op := &ops[i]
+		mix(uint64(op.Addr))
+		mix(uint64(op.Work))
+		mix(uint64(op.Kind))
+		if op.Dep {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	a := []Op{{Kind: Load, Addr: 1}}
+	b := []Op{{Kind: Load, Addr: 2}}
+	c := []Op{{Kind: Load, Addr: 1, Dep: true}}
+	if Fingerprint(a) == Fingerprint(b) || Fingerprint(a) == Fingerprint(c) {
+		t.Error("fingerprint collisions on trivially different streams")
+	}
+}
+
+// TestGoldenFingerprints locks the tiny-scale op streams against
+// accidental changes. If a kernel is changed *on purpose*, update the
+// golden value here (run with -v to print the new ones) and note that
+// recorded experiment results predate the change.
+func TestGoldenFingerprints(t *testing.T) {
+	golden := map[string]uint64{
+		"CG":     0x771191779a79c19b,
+		"Equake": 0x4bf32f15b2857f83,
+		"FT":     0x7f0660f406971383,
+		"Gap":    0xd1c9b7661cc40d83,
+		"Mcf":    0xc63c6624fe575421,
+		"MST":    0x38be3beffc4804db,
+		"Parser": 0xe772ecb92264c896,
+		"Sparse": 0x708c6bc604ef3bc3,
+		"Tree":   0x893e9dfb7790eda5,
+	}
+	for _, w := range All() {
+		got := Fingerprint(w.Generate(ScaleTiny))
+		t.Logf("%s tiny fingerprint: %#x", w.Name(), got)
+		if got != golden[w.Name()] {
+			t.Errorf("%s: fingerprint %#x != golden %#x (intentional kernel change? update the golden)",
+				w.Name(), got, golden[w.Name()])
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+)
+
+func TestAllNineRegistered(t *testing.T) {
+	names := Names()
+	want := []string{"CG", "Equake", "FT", "Gap", "Mcf", "MST", "Parser", "Sparse", "Tree"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+	if len(All()) != 9 {
+		t.Errorf("All() returned %d workloads", len(All()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("Mcf")
+	if err != nil || w.Name() != "Mcf" {
+		t.Fatalf("ByName(Mcf) = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestScaleParsing(t *testing.T) {
+	for _, s := range []Scale{ScaleTiny, ScaleSmall, ScaleMedium, ScaleLarge} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip of %v failed: %v %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale must error")
+	}
+	if Scale(42).String() == "" {
+		t.Error("unknown scale must still format")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range All() {
+		a := w.Generate(ScaleTiny)
+		b := w.Generate(ScaleTiny)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ %d vs %d", w.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: op %d differs", w.Name(), i)
+			}
+		}
+	}
+}
+
+func TestEveryWorkloadShape(t *testing.T) {
+	for _, w := range All() {
+		ops := w.Generate(ScaleTiny)
+		if len(ops) < 1000 {
+			t.Errorf("%s: only %d ops at tiny scale", w.Name(), len(ops))
+		}
+		if w.Description() == "" {
+			t.Errorf("%s has no description", w.Name())
+		}
+		loads, stores, computes, deps := 0, 0, 0, 0
+		for _, op := range ops {
+			switch op.Kind {
+			case Load:
+				loads++
+				if op.Dep {
+					deps++
+				}
+			case Store:
+				stores++
+			case Compute:
+				computes++
+				if op.Work == 0 {
+					t.Errorf("%s: zero-work compute op", w.Name())
+				}
+			}
+			if op.Kind != Compute && op.Addr == 0 {
+				t.Errorf("%s: memory op at address 0", w.Name())
+			}
+		}
+		if loads == 0 || computes == 0 {
+			t.Errorf("%s: loads=%d computes=%d", w.Name(), loads, computes)
+		}
+		if stores == 0 {
+			t.Errorf("%s: no stores", w.Name())
+		}
+	}
+}
+
+func TestIrregularAppsHaveDependentLoads(t *testing.T) {
+	for _, name := range []string{"Mcf", "MST", "Parser", "Tree", "Gap"} {
+		w, _ := ByName(name)
+		deps := 0
+		ops := w.Generate(ScaleTiny)
+		for _, op := range ops {
+			if op.Kind == Load && op.Dep {
+				deps++
+			}
+		}
+		if float64(deps) < 0.1*float64(len(ops)) {
+			t.Errorf("%s: only %d/%d dependent loads; pointer-chasing apps need more", name, deps, len(ops))
+		}
+	}
+}
+
+func TestScalesGrow(t *testing.T) {
+	for _, w := range All() {
+		tiny := len(w.Generate(ScaleTiny))
+		small := len(w.Generate(ScaleSmall))
+		if small <= tiny {
+			t.Errorf("%s: small (%d) not larger than tiny (%d)", w.Name(), small, tiny)
+		}
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder()
+	a1 := b.Alloc(100)
+	a2 := b.Alloc(10)
+	if a2 <= a1 || uint64(a2)%64 != 0 {
+		t.Errorf("allocations not bumped/aligned: %v %v", a1, a2)
+	}
+	al := b.AllocAligned(64, 4096)
+	if uint64(al)%4096 != 0 {
+		t.Errorf("AllocAligned gave %v", al)
+	}
+	if b.Footprint() <= 0 {
+		t.Error("footprint not tracked")
+	}
+
+	b.Work(5)
+	b.Load(a1)
+	b.LoadDep(a2)
+	b.Store(a1)
+	b.Work(70000) // above the uint16 cap: must split
+	ops := b.Ops()
+	if len(ops) < 5 {
+		t.Fatalf("ops = %v", ops)
+	}
+	if ops[0].Kind != Compute || ops[0].Work != 5 {
+		t.Errorf("op0 = %+v", ops[0])
+	}
+	if ops[1].Kind != Load || ops[1].Dep {
+		t.Errorf("op1 = %+v", ops[1])
+	}
+	if ops[2].Kind != Load || !ops[2].Dep {
+		t.Errorf("op2 = %+v", ops[2])
+	}
+	if ops[3].Kind != Store {
+		t.Errorf("op3 = %+v", ops[3])
+	}
+	var total int
+	for _, op := range ops[4:] {
+		if op.Kind != Compute {
+			t.Fatalf("tail op = %+v", op)
+		}
+		total += int(op.Work)
+	}
+	if total != 70000 {
+		t.Errorf("split work sums to %d", total)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	register(cg{})
+}
+
+func TestFootprintsExceedL2AtSmall(t *testing.T) {
+	// The prefetching study needs L2 misses: every workload's
+	// footprint at small scale must exceed the 512 KB L2.
+	for _, w := range All() {
+		ops := w.Generate(ScaleSmall)
+		lines := map[mem.Addr]struct{}{}
+		for _, op := range ops {
+			if op.Kind != Compute {
+				lines[op.Addr>>6] = struct{}{}
+			}
+		}
+		bytes := len(lines) * 64
+		if bytes < 512<<10 {
+			t.Errorf("%s: touched footprint %d KB < 512 KB L2", w.Name(), bytes>>10)
+		}
+	}
+}
