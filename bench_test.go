@@ -176,7 +176,7 @@ func runWith(b *testing.B, mutate func(*ulmt.Config)) ulmt.Results {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return ulmt.NewSystem(cfg).Run("Mcf", ablationOps())
+	return ulmt.MustSystem(cfg).Run("Mcf", ablationOps())
 }
 
 // BenchmarkAblationLearnFirst quantifies the paper's
@@ -229,9 +229,9 @@ func BenchmarkAblationVerbose(b *testing.B) {
 	run := func(verbose bool) ulmt.Results {
 		cfg := ulmt.DefaultConfig()
 		cfg.ULMT = ulmt.NewReplAlgorithm(1<<15, 3)
-		cfg.Conven = ulmt.NewConven(4, 6)
+		cfg.Conven = mustConven(4, 6)
 		cfg.Verbose = verbose
-		return ulmt.NewSystem(cfg).Run("CG", ops)
+		return ulmt.MustSystem(cfg).Run("CG", ops)
 	}
 	for i := 0; i < b.N; i++ {
 		nv := run(false)
@@ -251,7 +251,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := ulmt.DefaultConfig()
 		cfg.ULMT = ulmt.NewReplAlgorithm(1<<15, 3)
-		r := ulmt.NewSystem(cfg).Run("Mcf", ops)
+		r := ulmt.MustSystem(cfg).Run("Mcf", ops)
 		retired += r.OpsRetired
 	}
 	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "ops/s")
@@ -265,15 +265,15 @@ func BenchmarkExtensionActiveVsPassive(b *testing.B) {
 	app, _ := ulmt.WorkloadByName("Mcf")
 	ops := app.Generate(ulmt.ScaleTiny)
 	for i := 0; i < b.N; i++ {
-		base := ulmt.NewSystem(ulmt.DefaultConfig()).Run("Mcf", ops)
+		base := ulmt.MustSystem(ulmt.DefaultConfig()).Run("Mcf", ops)
 
 		pcfg := ulmt.DefaultConfig()
 		pcfg.ULMT = ulmt.NewReplAlgorithm(1<<15, 3)
-		passive := ulmt.NewSystem(pcfg).Run("Mcf", ops)
+		passive := ulmt.MustSystem(pcfg).Run("Mcf", ops)
 
 		acfg := ulmt.DefaultConfig()
 		acfg.Active = &ulmt.ActiveConfig{Slice: ulmt.BuildSlice(ops, acfg), MaxAhead: 16}
-		active := ulmt.NewSystem(acfg).Run("Mcf", ops)
+		active := ulmt.MustSystem(acfg).Run("Mcf", ops)
 
 		b.ReportMetric(passive.Speedup(base), "passive-repl-speedup")
 		b.ReportMetric(active.Speedup(base), "active-slice-speedup")
@@ -289,14 +289,14 @@ func BenchmarkExtensionAdaptive(b *testing.B) {
 	run := func(alg ulmt.Algorithm) ulmt.Results {
 		cfg := ulmt.DefaultConfig()
 		cfg.ULMT = alg
-		return ulmt.NewSystem(cfg).Run("CG", ops)
+		return ulmt.MustSystem(cfg).Run("CG", ops)
 	}
 	for i := 0; i < b.N; i++ {
-		base := ulmt.NewSystem(ulmt.DefaultConfig()).Run("CG", ops)
-		seq := run(ulmt.NewSeqAlgorithm(4, 6))
+		base := ulmt.MustSystem(ulmt.DefaultConfig()).Run("CG", ops)
+		seq := run(mustSeqAlg(4, 6))
 		repl := run(ulmt.NewReplAlgorithm(1<<15, 3))
 		adaptive := run(ulmt.NewAdaptiveAlgorithm(
-			ulmt.NewSeqAlgorithm(4, 6), ulmt.NewReplAlgorithm(1<<15, 3)))
+			mustSeqAlg(4, 6), ulmt.NewReplAlgorithm(1<<15, 3)))
 		b.ReportMetric(seq.Speedup(base), "seq4-speedup")
 		b.ReportMetric(repl.Speedup(base), "repl-speedup")
 		b.ReportMetric(adaptive.Speedup(base), "adaptive-speedup")
@@ -349,7 +349,7 @@ func BenchmarkAblationMemProcCache(b *testing.B) {
 			cfg := ulmt.DefaultConfig()
 			cfg.MemProc.Cache.SizeBytes = kb << 10
 			cfg.ULMT = ulmt.NewReplAlgorithm(1<<15, 3)
-			r := ulmt.NewSystem(cfg).Run("Mcf", ablationOps())
+			r := ulmt.MustSystem(cfg).Run("Mcf", ablationOps())
 			b.ReportMetric(r.ULMT.AvgOccupancy(), fmt.Sprintf("occupancy-%dKB", kb))
 		}
 	}

@@ -50,23 +50,27 @@ func main() {
 		cfg.Seed = *seed
 		return cfg
 	}
-	base := ulmt.NewSystem(mkBase()).Run("replay", ops)
+	baseSys, err := ulmt.NewSystem(mkBase())
+	if err != nil {
+		fatal(err)
+	}
+	base := baseSys.Run("replay", ops)
 
 	cfg := mkBase()
 	switch *config {
 	case "NoPref":
 	case "Conven4":
-		cfg.Conven = ulmt.NewConven(4, 6)
+		cfg.Conven = check(ulmt.NewConven(4, 6))
 	case "Base":
 		cfg.ULMT = ulmt.NewBaseAlgorithm(*rows)
 	case "Chain":
-		cfg.ULMT = ulmt.NewChainAlgorithm(*rows, 3)
+		cfg.ULMT = check(ulmt.NewChainAlgorithm(*rows, 3))
 	case "Repl":
 		cfg.ULMT = ulmt.NewReplAlgorithm(*rows, 3)
 	case "Seq4":
-		cfg.ULMT = ulmt.NewSeqAlgorithm(4, 6)
+		cfg.ULMT = check(ulmt.NewSeqAlgorithm(4, 6))
 	case "Conven4+Repl":
-		cfg.Conven = ulmt.NewConven(4, 6)
+		cfg.Conven = check(ulmt.NewConven(4, 6))
 		cfg.ULMT = ulmt.NewReplAlgorithm(*rows, 3)
 	case "Active":
 		cfg.Active = &ulmt.ActiveConfig{Slice: ulmt.BuildSlice(ops, cfg)}
@@ -74,7 +78,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "replay: unknown config %q\n", *config)
 		os.Exit(2)
 	}
-	r := ulmt.NewSystem(cfg).Run("replay", ops)
+	sys, err := ulmt.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	r := sys.Run("replay", ops)
 
 	b, u, m := r.Exec.Normalized(base.Cycles)
 	fmt.Printf("NoPref:  %d cycles (%d L2 misses)\n", base.Cycles, base.DemandMissesToMemory)
@@ -89,4 +97,12 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// check exits with the constructor's message instead of a stack trace.
+func check[T any](v T, err error) T {
+	if err != nil {
+		fatal(err)
+	}
+	return v
 }

@@ -5,8 +5,15 @@
 //
 // Usage:
 //
-//	ulmtsim [-exp all|table1..table5|fig5..fig11|ablation|sweep]
+//	ulmtsim [-exp all|table1..table5|fig5..fig11|ablation|sweep|faults]
 //	        [-scale tiny|small|medium|large] [-apps CG,Mcf,...] [-seed N]
+//	        [-faults off|light|heavy|k=v,...] [-fault-seed N]
+//
+// With -faults set, every simulated run injects the same
+// deterministic fault schedule (dropped observations, lost/delayed
+// pushes, ULMT preemptions, bus brownouts, DRAM contention spikes, OS
+// page remaps), so any table or figure can be regenerated under
+// degraded conditions; -exp faults prints what was injected.
 package main
 
 import (
@@ -18,15 +25,18 @@ import (
 
 	"ulmt/internal/core"
 	"ulmt/internal/experiment"
+	"ulmt/internal/fault"
 	"ulmt/internal/report"
 	"ulmt/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig5..fig11)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig5..fig11, faults)")
 	scaleFlag := flag.String("scale", "small", "problem scale: tiny, small, medium, large")
 	appsFlag := flag.String("apps", "", "comma-separated application subset (default: all nine)")
 	seed := flag.Uint64("seed", 1, "page-mapping seed")
+	faultSpec := flag.String("faults", "off", "fault plan: off, light, heavy, or key=value list (see internal/fault)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault plan's pseudo-random schedule")
 	flag.Parse()
 
 	scale, err := workload.ParseScale(*scaleFlag)
@@ -34,7 +44,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	opt := experiment.Options{Scale: scale, Seed: *seed}
+	plan, err := fault.ParseSpec(*faultSpec, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt := experiment.Options{Scale: scale, Seed: *seed, Faults: plan}
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")
 		for _, a := range opt.Apps {
@@ -51,7 +66,7 @@ func main() {
 		"table4": table4, "table5": table5,
 		"fig5": fig5, "fig6": fig6, "fig7": fig7, "fig8": fig8,
 		"fig9": fig9, "fig10": fig10, "fig11": fig11,
-		"ablation": ablation, "sweep": sweep,
+		"ablation": ablation, "sweep": sweep, "faults": faults,
 	}
 	if *exp == "all" {
 		order := []string{"table3", "table4", "table2", "table1", "fig5", "fig6", "fig7", "table5", "fig8", "fig9", "fig10", "fig11", "ablation", "sweep"}
@@ -345,6 +360,19 @@ func sweep(r *experiment.Runner) {
 			t.AddRow(pt.App, pt.Param, pt.Value, pt.Speedup, pt.Coverage, pt.PushesPerMiss)
 		}
 	}
+	t.Fprint(os.Stdout)
+}
+
+// faults runs each application under Repl (plus NoPref as control)
+// and prints the injected-fault and degradation counters; with
+// -faults off every cell is zero.
+func faults(r *experiment.Runner) {
+	var rows []core.Results
+	for _, app := range r.Apps() {
+		rows = append(rows, r.Run(app, experiment.CfgNoPref))
+		rows = append(rows, r.Run(app, experiment.CfgRepl))
+	}
+	t := report.FaultTable("Fault injection summary (per run)", rows)
 	t.Fprint(os.Stdout)
 }
 

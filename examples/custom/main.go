@@ -83,19 +83,19 @@ func main() {
 		panic(err)
 	}
 	ops := app.Generate(ulmt.ScaleSmall)
-	base := ulmt.NewSystem(ulmt.DefaultConfig()).Run(app.Name(), ops)
+	base := ulmt.MustSystem(ulmt.DefaultConfig()).Run(app.Name(), ops)
 	rows := ulmt.SizeTableRows(ulmt.MissTrace(ops))
 
 	cfgRepl := ulmt.DefaultConfig()
 	cfgRepl.ULMT = ulmt.NewReplAlgorithm(rows, 3)
-	repl := ulmt.NewSystem(cfgRepl).Run(app.Name(), ops)
+	repl := ulmt.MustSystem(cfgRepl).Run(app.Name(), ops)
 
 	cfgCustom := ulmt.DefaultConfig()
 	cfgCustom.ULMT = &regionAlg{
 		succ:      make(map[ulmt.Line][2]ulmt.Line),
 		tableBase: ulmt.TableBase,
 	}
-	custom := ulmt.NewSystem(cfgCustom).Run(app.Name(), ops)
+	custom := ulmt.MustSystem(cfgCustom).Run(app.Name(), ops)
 
 	fmt.Printf("Gap, %d ops, %d original L2 misses\n\n", len(ops), base.DemandMissesToMemory)
 	line := func(name string, r ulmt.Results) {

@@ -67,7 +67,7 @@ func main() {
 	cfg := ulmt.DefaultConfig()
 	prof := newProfiler()
 	cfg.ULMT = prof
-	res := ulmt.NewSystem(cfg).Run(app.Name(), ops)
+	res := ulmt.MustSystem(cfg).Run(app.Name(), ops)
 
 	fmt.Printf("profiled %s: %d L2 misses observed by the ULMT (%d dropped on queue overflow)\n\n",
 		app.Name(), res.ULMT.MissesProcessed, res.ULMT.MissesDropped)

@@ -21,7 +21,7 @@ func main() {
 	fmt.Printf("workload: %s — %s (%d ops)\n\n", app.Name(), app.Description(), len(ops))
 
 	// Baseline: Table 3 machine, no prefetching anywhere.
-	base := ulmt.NewSystem(ulmt.DefaultConfig()).Run(app.Name(), ops)
+	base := ulmt.MustSystem(ulmt.DefaultConfig()).Run(app.Name(), ops)
 
 	// Size the correlation table by the paper's Table 2 rule.
 	rows := ulmt.SizeTableRows(ulmt.MissTrace(ops))
@@ -30,13 +30,16 @@ func main() {
 	// ULMT Replicated prefetching, memory processor in the DRAM chip.
 	cfgRepl := ulmt.DefaultConfig()
 	cfgRepl.ULMT = ulmt.NewReplAlgorithm(rows, 3)
-	repl := ulmt.NewSystem(cfgRepl).Run(app.Name(), ops)
+	repl := ulmt.MustSystem(cfgRepl).Run(app.Name(), ops)
 
 	// Replicated plus the processor-side sequential prefetcher.
 	cfgBoth := ulmt.DefaultConfig()
 	cfgBoth.ULMT = ulmt.NewReplAlgorithm(rows, 3)
-	cfgBoth.Conven = ulmt.NewConven(4, 6)
-	both := ulmt.NewSystem(cfgBoth).Run(app.Name(), ops)
+	cfgBoth.Conven, err = ulmt.NewConven(4, 6)
+	if err != nil {
+		panic(err)
+	}
+	both := ulmt.MustSystem(cfgBoth).Run(app.Name(), ops)
 
 	show := func(r ulmt.Results) {
 		b, u, m := r.Exec.Normalized(base.Cycles)

@@ -48,10 +48,10 @@ func main() {
 
 	// Close the loop: confirm the predictability translates into
 	// speedup on the timed machine.
-	base := ulmt.NewSystem(ulmt.DefaultConfig()).Run("synthetic", ops)
+	base := ulmt.MustSystem(ulmt.DefaultConfig()).Run("synthetic", ops)
 	cfg := ulmt.DefaultConfig()
 	cfg.ULMT = ulmt.NewReplAlgorithm(rows, 3)
-	repl := ulmt.NewSystem(cfg).Run("synthetic", ops)
+	repl := ulmt.MustSystem(cfg).Run("synthetic", ops)
 	fmt.Printf("\ntimed run: Repl speedup %.2f (coverage %.2f) over NoPref\n",
 		repl.Speedup(base), repl.Coverage(base))
 }

@@ -1,0 +1,30 @@
+package ulmt_test
+
+import "ulmt"
+
+// Test helpers: hardcoded-valid constructions, so errors are internal
+// invariant violations.
+
+func mustConven(numSeq, numPref int) *ulmt.Conven {
+	c, err := ulmt.NewConven(numSeq, numPref)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustChainAlg(numRows, numLevels int) ulmt.Algorithm {
+	a, err := ulmt.NewChainAlgorithm(numRows, numLevels)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func mustSeqAlg(numSeq, numPref int) ulmt.Algorithm {
+	a, err := ulmt.NewSeqAlgorithm(numSeq, numPref)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -74,10 +74,19 @@ type Bus struct {
 	lowQ      []transfer // Writeback, Prefetch
 	granting  bool
 	st        stats.BusStats
+
+	// stretch, when set, may lengthen a transfer granted at now
+	// (fault injection: bandwidth brownouts). Nil on the fast path.
+	stretch func(now, dur sim.Cycle) sim.Cycle
 }
 
 // New builds an idle bus on the engine.
 func New(eng *sim.Engine, cfg Config) *Bus { return &Bus{cfg: cfg, eng: eng} }
+
+// SetStretch installs a transfer-duration hook; f receives the grant
+// time and nominal duration and returns the effective duration (>=
+// nominal). Used by the fault layer to model bus brownouts.
+func (b *Bus) SetStretch(f func(now, dur sim.Cycle) sim.Cycle) { b.stretch = f }
 
 // TransferRequest enqueues an address/command packet; onDone fires
 // when its last beat crosses.
@@ -123,11 +132,15 @@ func (b *Bus) grant() {
 		return
 	}
 	b.granting = true
-	done := now + t.dur
+	dur := t.dur
+	if b.stretch != nil {
+		dur = b.stretch(now, dur)
+	}
+	done := now + dur
 	b.busyUntil = done
-	b.st.BusyCycles += t.dur
+	b.st.BusyCycles += dur
 	if t.kind == Prefetch {
-		b.st.PrefetchCycles += t.dur
+		b.st.PrefetchCycles += dur
 	}
 	b.eng.At(done, func() {
 		if t.onDone != nil {

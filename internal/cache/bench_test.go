@@ -7,7 +7,7 @@ import (
 )
 
 func benchCache() *Cache {
-	return New(Config{SizeBytes: 512 << 10, Assoc: 4, Line: mem.LineSize64, MSHRs: 16, WBQDepth: 16})
+	return mustNew(Config{SizeBytes: 512 << 10, Assoc: 4, Line: mem.LineSize64, MSHRs: 16, WBQDepth: 16})
 }
 
 func BenchmarkAccessHit(b *testing.B) {

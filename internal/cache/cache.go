@@ -95,11 +95,10 @@ type Cache struct {
 	st      Stats
 }
 
-// New builds an empty cache or panics on invalid geometry (a
-// construction-time programming error, not a runtime condition).
-func New(cfg Config) *Cache {
+// New builds an empty cache, or reports why the geometry is invalid.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	lineBytes := 1 << cfg.Line.Shift()
 	nsets := cfg.SizeBytes / (lineBytes * cfg.Assoc)
@@ -110,11 +109,36 @@ func New(cfg Config) *Cache {
 		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	c.mshrs = make([]MSHR, cfg.MSHRs)
-	return c
+	return c, nil
 }
 
 // Config returns the geometry the cache was built with.
 func (c *Cache) Config() Config { return c.cfg }
+
+// Fingerprint hashes the resident lines and their dirty bits into one
+// value, ignoring LRU ticks and diagnostic counters. Two caches
+// holding the same lines in the same state fingerprint equal, so runs
+// can compare final contents without exposing the internals.
+func (c *Cache) Fingerprint() uint64 {
+	const prime = 0x100000001b3
+	h := uint64(0xcbf29ce484222325)
+	for si, set := range c.sets {
+		for _, w := range set {
+			if !w.valid {
+				continue
+			}
+			x := w.tag * 0x9e3779b97f4a7c15
+			x ^= uint64(si) * 0xbf58476d1ce4e5b9
+			if w.dirty {
+				x ^= 0xd6e8feb86659fd93
+			}
+			// XOR-fold so way position and iteration order don't
+			// matter, only the resident set.
+			h ^= x * prime
+		}
+	}
+	return h
+}
 
 func (c *Cache) setIndex(l mem.Line) uint64 { return uint64(l) & c.setMask }
 

@@ -30,7 +30,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestAccessMissThenFillHit(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	if c.Access(5, false).Hit {
 		t.Error("empty cache must miss")
 	}
@@ -45,7 +45,7 @@ func TestAccessMissThenFillHit(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(tinyConfig()) // 8 sets, 2 ways
+	c := mustNew(tinyConfig()) // 8 sets, 2 ways
 	// Three lines in the same set (stride 8 = set count).
 	a, b, d := mem.Line(0), mem.Line(8), mem.Line(16)
 	c.Fill(a, false, false)
@@ -61,7 +61,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestDirtyEvictionGoesToWBQ(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	c.Fill(0, false, false)
 	c.Access(0, true) // dirty it
 	c.Fill(8, false, false)
@@ -82,7 +82,7 @@ func TestDirtyEvictionGoesToWBQ(t *testing.T) {
 }
 
 func TestRefillMergesDirty(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	c.Fill(3, false, false)
 	ev := c.Fill(3, true, false)
 	if ev.Valid {
@@ -96,7 +96,7 @@ func TestRefillMergesDirty(t *testing.T) {
 }
 
 func TestPrefetchFlagLifecycle(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	c.Fill(1, false, true)
 	res := c.Access(1, false)
 	if !res.Hit || !res.FirstPrefetchTouch {
@@ -112,7 +112,7 @@ func TestPrefetchFlagLifecycle(t *testing.T) {
 }
 
 func TestPrefetchEvictUnusedCounted(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	c.Fill(0, false, true)
 	c.Fill(8, false, false)
 	c.Fill(16, false, false) // evicts unreferenced prefetch
@@ -122,7 +122,7 @@ func TestPrefetchEvictUnusedCounted(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	c.Fill(9, true, false)
 	dirty, present := c.Invalidate(9)
 	if !present || !dirty {
@@ -137,7 +137,7 @@ func TestInvalidate(t *testing.T) {
 }
 
 func TestMSHRLifecycle(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	id, ok := c.AllocMSHR(7, false)
 	if !ok {
 		t.Fatal("alloc failed")
@@ -164,7 +164,7 @@ func TestMSHRLifecycle(t *testing.T) {
 }
 
 func TestMSHRDuplicatePanics(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	c.AllocMSHR(7, false)
 	defer func() {
 		if recover() == nil {
@@ -175,7 +175,7 @@ func TestMSHRDuplicatePanics(t *testing.T) {
 }
 
 func TestPendingInSet(t *testing.T) {
-	c := New(tinyConfig()) // 8 sets
+	c := mustNew(tinyConfig()) // 8 sets
 	c.AllocMSHR(0, false)
 	c.AllocMSHR(8, false) // same set
 	c.AllocMSHR(1, false) // different set
@@ -187,7 +187,7 @@ func TestPendingInSet(t *testing.T) {
 // --- Push acceptance rules (paper §2.1) ---
 
 func TestPushAccepted(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	out, id := c.AcceptPush(5)
 	if out != PushAccepted || id != -1 {
 		t.Fatalf("outcome = %v, %d", out, id)
@@ -201,7 +201,7 @@ func TestPushAccepted(t *testing.T) {
 }
 
 func TestPushStealsMSHR(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	id, _ := c.AllocMSHR(5, false) // pending demand miss
 	out, stolen := c.AcceptPush(5)
 	if out != PushStolenMSHR || stolen != id {
@@ -219,7 +219,7 @@ func TestPushStealsMSHR(t *testing.T) {
 }
 
 func TestPushDropRedundantInFlightPrefetch(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	c.AllocMSHR(5, true) // an in-flight prefetch for the same line
 	out, _ := c.AcceptPush(5)
 	if out != PushDropRedundant {
@@ -228,7 +228,7 @@ func TestPushDropRedundantInFlightPrefetch(t *testing.T) {
 }
 
 func TestPushDropRedundantPresent(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	c.Fill(5, false, false)
 	out, _ := c.AcceptPush(5)
 	if out != PushDropRedundant {
@@ -237,7 +237,7 @@ func TestPushDropRedundantPresent(t *testing.T) {
 }
 
 func TestPushDropWriteback(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	c.Fill(0, true, false)
 	c.Fill(8, false, false)
 	c.Fill(16, false, false) // dirty 0 into WBQ
@@ -248,7 +248,7 @@ func TestPushDropWriteback(t *testing.T) {
 }
 
 func TestPushDropNoMSHR(t *testing.T) {
-	c := New(tinyConfig())
+	c := mustNew(tinyConfig())
 	for i := 0; i < 4; i++ {
 		c.AllocMSHR(mem.Line(100+i), false)
 	}
@@ -261,7 +261,7 @@ func TestPushDropNoMSHR(t *testing.T) {
 func TestPushDropPendingSet(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.MSHRs = 8
-	c := New(cfg) // 8 sets, 2 ways
+	c := mustNew(cfg) // 8 sets, 2 ways
 	// Two pending misses mapping to set 5: the whole set is
 	// transaction pending.
 	c.AllocMSHR(5, false)
@@ -291,7 +291,7 @@ func TestPushOutcomeStrings(t *testing.T) {
 // Access hits.
 func TestCacheNeverExceedsCapacityProperty(t *testing.T) {
 	f := func(ops []uint8) bool {
-		c := New(tinyConfig())
+		c := mustNew(tinyConfig())
 		resident := map[mem.Line]bool{}
 		for _, op := range ops {
 			l := mem.Line(op % 64)

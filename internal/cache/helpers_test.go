@@ -1,0 +1,10 @@
+package cache
+
+// mustNew builds a cache with a known-good geometry for tests.
+func mustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -45,7 +45,7 @@ func TestActivePrefetchingSpeedsUpPointerChase(t *testing.T) {
 	ops := chaseOps(16384, 2)
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	base := NewSystem(cfg).Run("chase", ops)
+	base := mustSystem(cfg).Run("chase", ops)
 
 	acfg := DefaultConfig()
 	acfg.LinearPages = true
@@ -53,7 +53,7 @@ func TestActivePrefetchingSpeedsUpPointerChase(t *testing.T) {
 		Slice:    BuildSlice(ops, true, 0, mem.LineSize64),
 		MaxAhead: 12,
 	}
-	r := NewSystem(acfg).Run("chase", ops)
+	r := mustSystem(acfg).Run("chase", ops)
 	if r.OpsRetired != uint64(len(ops)) {
 		t.Fatalf("retired %d of %d", r.OpsRetired, len(ops))
 	}
@@ -72,14 +72,14 @@ func TestActiveVsPassiveFirstTraversal(t *testing.T) {
 	ops := chaseOps(16384, 1)
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	base := NewSystem(cfg).Run("chase", ops)
+	base := mustSystem(cfg).Run("chase", ops)
 
-	passive := NewSystem(replConfig(1<<15)).Run("chase", ops)
+	passive := mustSystem(replConfig(1<<15)).Run("chase", ops)
 
 	acfg := DefaultConfig()
 	acfg.LinearPages = true
 	acfg.Active = &ActiveConfig{Slice: BuildSlice(ops, true, 0, mem.LineSize64)}
-	active := NewSystem(acfg).Run("chase", ops)
+	active := mustSystem(acfg).Run("chase", ops)
 
 	if active.Speedup(base) <= passive.Speedup(base) {
 		t.Errorf("active (%.3f) should beat passive (%.3f) on an untrained first lap",
@@ -92,7 +92,7 @@ func TestActiveThrottleBoundsRunAhead(t *testing.T) {
 	acfg := DefaultConfig()
 	acfg.LinearPages = true
 	acfg.Active = &ActiveConfig{Slice: BuildSlice(ops, true, 0, mem.LineSize64), MaxAhead: 4}
-	sys := NewSystem(acfg)
+	sys := mustSystem(acfg)
 	r := sys.Run("chase", ops)
 	if sys.active.generated == 0 {
 		t.Fatal("no slice progress")
@@ -113,12 +113,12 @@ func TestActiveNorthBridgeSlowerChase(t *testing.T) {
 	ops := chaseOps(16384, 1)
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	base := NewSystem(cfg).Run("chase", ops)
+	base := mustSystem(cfg).Run("chase", ops)
 
 	mk := func(cfg Config) float64 {
 		cfg.LinearPages = true
 		cfg.Active = &ActiveConfig{Slice: BuildSlice(ops, true, 0, mem.LineSize64)}
-		return NewSystem(cfg).Run("chase", ops).Speedup(base)
+		return mustSystem(cfg).Run("chase", ops).Speedup(base)
 	}
 	inDRAM := mk(DefaultConfig())
 	nbCfg := DefaultConfig()

@@ -5,10 +5,13 @@
 package core
 
 import (
+	"fmt"
+
 	"ulmt/internal/bus"
 	"ulmt/internal/cache"
 	"ulmt/internal/cpu"
 	"ulmt/internal/dram"
+	"ulmt/internal/fault"
 	"ulmt/internal/memproc"
 	"ulmt/internal/prefetch"
 	"ulmt/internal/sim"
@@ -86,6 +89,67 @@ type Config struct {
 	// DropPushes discards prefetched lines at the L2 boundary,
 	// approximating a pull design that only buffers in memory.
 	DropPushes bool
+
+	// Faults, when non-nil, injects the plan's deterministic fault
+	// schedule into the run (DESIGN.md "Fault model"). Nil — the
+	// default — leaves every fault path compiled out of the event
+	// flow: results are bit-identical to a plan-free build.
+	Faults *fault.Plan
+
+	// BacklogHighWater arms the ULMT occupancy watchdog: when the
+	// queue-2 backlog reaches this many entries, the controller sheds
+	// the oldest observations down to half the mark and refuses new
+	// ones for BacklogBackoff cycles, keeping a lagging memory thread
+	// from chewing through a stale backlog instead of fresh misses.
+	// 0 (the default) disables the watchdog. Shed and refused
+	// observations are counted in Results.DegradedSheds/DegradedDrops;
+	// like any lost observation they cost only prefetch coverage.
+	BacklogHighWater int
+	// BacklogBackoff is the watchdog's refuse window after a shed.
+	BacklogBackoff sim.Cycle
+}
+
+// Validate reports the first configuration error, or nil. NewSystem
+// calls it; running it directly gives callers the error before any
+// construction happens.
+func (c Config) Validate() error {
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1.Validate(); err != nil {
+		return fmt.Errorf("L1: %w", err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return fmt.Errorf("L2: %w", err)
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("core: QueueDepth must be positive, got %d", c.QueueDepth)
+	}
+	if c.FilterSize < 0 {
+		return fmt.Errorf("core: FilterSize must be >= 0, got %d", c.FilterSize)
+	}
+	if c.ULMT != nil || c.Active != nil {
+		if err := c.MemProc.Cache.Validate(); err != nil {
+			return fmt.Errorf("memproc cache: %w", err)
+		}
+	}
+	if err := c.Faults.Config().Validate(); err != nil {
+		return err
+	}
+	if c.BacklogHighWater < 0 {
+		return fmt.Errorf("core: BacklogHighWater must be >= 0, got %d", c.BacklogHighWater)
+	}
+	if c.BacklogHighWater > 0 && c.BacklogHighWater > c.QueueDepth {
+		return fmt.Errorf("core: BacklogHighWater %d exceeds QueueDepth %d",
+			c.BacklogHighWater, c.QueueDepth)
+	}
+	if c.BacklogBackoff < 0 {
+		return fmt.Errorf("core: BacklogBackoff must be >= 0, got %d", c.BacklogBackoff)
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper's Table 3 machine with no

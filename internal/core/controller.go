@@ -53,13 +53,63 @@ func (s *System) arriveController(pm *l2Miss) {
 	}
 
 	if s.mp != nil && !matchedQ3 && (s.cfg.Verbose || !pm.prefetch) {
-		if s.q2.Push(queue.Entry{Line: pm.line, Prefetch: pm.prefetch, At: now}) {
+		switch {
+		case s.dropObservationFault():
+			// Injected loss: the ULMT never sees this miss. Purely a
+			// learning/coverage loss — queue 1 already has the demand.
+		case !s.watchdogAdmit(now):
+			// Watchdog backoff: shedding incoming observations while
+			// the lagging ULMT catches up.
+		case s.q2.Push(queue.Entry{Line: pm.line, Prefetch: pm.prefetch, At: now}):
+			s.watchdogCheck(now)
 			s.pumpULMT()
-		} else {
+		default:
 			s.mp.DropObservation()
 		}
 	}
 	s.pumpMemory()
+}
+
+// dropObservationFault consumes one observation-site fault decision.
+func (s *System) dropObservationFault() bool {
+	if s.faults == nil {
+		return false
+	}
+	n := s.obsSeen
+	s.obsSeen++
+	if s.faults.DropObservation(n) {
+		s.inj.ObservationsDropped++
+		return true
+	}
+	return false
+}
+
+// watchdogAdmit reports whether the occupancy watchdog is accepting
+// observations; during a backoff window it refuses and counts them.
+func (s *System) watchdogAdmit(now sim.Cycle) bool {
+	if s.cfg.BacklogHighWater <= 0 || now >= s.backoffUntil {
+		return true
+	}
+	s.degradedDropped++
+	return false
+}
+
+// watchdogCheck sheds the oldest half of the ULMT backlog when it
+// reaches the high-water mark and opens a backoff window. Shedding
+// oldest-first keeps the freshest misses — the ones whose successors
+// are still ahead of the processor — for when the thread resumes.
+func (s *System) watchdogCheck(now sim.Cycle) {
+	hw := s.cfg.BacklogHighWater
+	if hw <= 0 || s.q2.Len() < hw {
+		return
+	}
+	for s.q2.Len() > hw/2 {
+		if _, ok := s.q2.Pop(); !ok {
+			break
+		}
+		s.degradedSheds++
+	}
+	s.backoffUntil = now + s.cfg.BacklogBackoff
 }
 
 // pumpMemory is the controller's issue port: one request at a time,
@@ -296,6 +346,20 @@ func (s *System) pumpULMT() {
 	occAt := now + ses.Elapsed()
 	s.mp.Finish(ses)
 
+	if s.faults != nil {
+		// A preemption window after this session: the thread is
+		// descheduled, so both the prefetch deposit and the next
+		// observation slide by the stall.
+		n := s.sessSeen
+		s.sessSeen++
+		if st := s.faults.SessionStall(n); st > 0 {
+			s.inj.Stalls++
+			s.inj.StallCycles += st
+			respAt += st
+			occAt += st
+		}
+	}
+
 	if len(emits) > 0 {
 		s.eng.At(respAt, func() { s.depositPrefetches(emits) })
 	}
@@ -306,28 +370,54 @@ func (s *System) pumpULMT() {
 }
 
 // depositPrefetches runs each generated address through the Filter
-// module and the queue-3 cross-match before queueing it for the DRAM.
+// module, the fault layer, and the queue-3 admission path.
 func (s *System) depositPrefetches(lines []mem.Line) {
 	for _, l := range lines {
 		if !s.filter.Admit(l) {
 			continue
 		}
-		if !s.cfg.DisableCrossMatch {
-			// A prefetch matching a pending miss is redundant: a
-			// higher-priority request is already in queue 1. It is
-			// removed from queue 2 as well to save ULMT occupancy.
-			if s.q1.ContainsLine(l) || s.q2.ContainsLine(l) {
-				s.q2.RemoveLine(l)
-				s.xMatchPush++
+		if s.faults != nil {
+			n := s.pushSeen
+			s.pushSeen++
+			if s.faults.DropPush(n) {
+				s.inj.PushesDropped++
+				continue
+			}
+			if d := s.faults.PushDelay(n); d > 0 {
+				// The Filter already recorded the address; on arrival
+				// the push re-runs only the cross-match and queue-3
+				// admission, so a stale delayed push can still be
+				// cancelled or dropped there.
+				s.inj.PushesDelayed++
+				s.eng.After(d, func() {
+					s.enqueuePrefetch(l)
+					s.pumpMemory()
+				})
 				continue
 			}
 		}
-		if s.q3.ContainsLine(l) {
-			continue // already queued by an earlier miss
-		}
-		if !s.q3.Push(queue.Entry{Line: l, Prefetch: true, At: s.eng.Now()}) {
-			s.q3Drops++
-		}
+		s.enqueuePrefetch(l)
 	}
 	s.pumpMemory()
+}
+
+// enqueuePrefetch applies the queue-3 cross-match and admission for
+// one post-Filter prefetch address.
+func (s *System) enqueuePrefetch(l mem.Line) {
+	if !s.cfg.DisableCrossMatch {
+		// A prefetch matching a pending miss is redundant: a
+		// higher-priority request is already in queue 1. It is
+		// removed from queue 2 as well to save ULMT occupancy.
+		if s.q1.ContainsLine(l) || s.q2.ContainsLine(l) {
+			s.q2.RemoveLine(l)
+			s.xMatchPush++
+			return
+		}
+	}
+	if s.q3.ContainsLine(l) {
+		return // already queued by an earlier miss
+	}
+	if !s.q3.Push(queue.Entry{Line: l, Prefetch: true, At: s.eng.Now()}) {
+		s.q3Drops++
+	}
 }

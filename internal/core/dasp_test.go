@@ -3,7 +3,6 @@ package core
 import (
 	"testing"
 
-	"ulmt/internal/prefetch"
 )
 
 // TestDASPNarrowScope reproduces the paper's motivation for a
@@ -21,18 +20,18 @@ func TestDASPNarrowScope(t *testing.T) {
 	// Sequential walk: DASP should push usefully.
 	seqStream := seqOps(16384, 1)
 	daspCfg := mkCfg()
-	daspCfg.DASP = prefetch.NewConven(4, 6)
-	daspSeq := NewSystem(daspCfg).Run("seq", seqStream)
+	daspCfg.DASP = mustConven(4, 6)
+	daspSeq := mustSystem(daspCfg).Run("seq", seqStream)
 	if daspSeq.PushesToL2 == 0 {
 		t.Fatal("DASP pushed nothing on a sequential stream")
 	}
 
 	// Scattered pointer chase: DASP must stay silent.
 	chase := chaseOps(16384, 2)
-	baseChase := NewSystem(mkCfg()).Run("chase", chase)
+	baseChase := mustSystem(mkCfg()).Run("chase", chase)
 	daspCfg2 := mkCfg()
-	daspCfg2.DASP = prefetch.NewConven(4, 6)
-	daspChase := NewSystem(daspCfg2).Run("chase", chase)
+	daspCfg2.DASP = mustConven(4, 6)
+	daspChase := mustSystem(daspCfg2).Run("chase", chase)
 	if daspChase.PushesToL2 > baseChase.DemandMissesToMemory/100 {
 		t.Errorf("DASP pushed %d lines on a pointer chase", daspChase.PushesToL2)
 	}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"ulmt/internal/mem"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/table"
+)
+
+// Test helpers: every configuration tests build is hardcoded-valid, so
+// construction errors are internal invariant violations.
+
+func mustSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustConven(numSeq, numPref int) *prefetch.Conven {
+	c, err := prefetch.NewConven(numSeq, numPref)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustChain(t *table.BaseTable, numLevels int) *prefetch.Chain {
+	c, err := prefetch.NewChain(t, numLevels)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustSeq(numSeq, numPref int, stateBase mem.Addr) *prefetch.Seq {
+	q, err := prefetch.NewSeq(numSeq, numPref, stateBase)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

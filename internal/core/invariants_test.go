@@ -59,10 +59,10 @@ func TestSystemInvariantsUnderRandomStreams(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.Seed = 7
 			cfg.ULMT = prefetch.NewRepl(table.NewRepl(table.ReplParams(1<<12), TableBase))
-			cfg.Conven = prefetch.NewConven(4, 6)
+			cfg.Conven = mustConven(4, 6)
 			return cfg
 		}
-		a := NewSystem(mk()).Run("fuzz", ops)
+		a := mustSystem(mk()).Run("fuzz", ops)
 		if a.OpsRetired != uint64(len(ops)) {
 			t.Logf("retired %d of %d", a.OpsRetired, len(ops))
 			return false
@@ -78,7 +78,7 @@ func TestSystemInvariantsUnderRandomStreams(t *testing.T) {
 			t.Logf("outcome conservation violated: %+v pushes=%d", o, a.PushesToL2)
 			return false
 		}
-		b := NewSystem(mk()).Run("fuzz", ops)
+		b := mustSystem(mk()).Run("fuzz", ops)
 		if b.Cycles != a.Cycles || b.Outcomes != a.Outcomes {
 			t.Logf("nondeterministic: %d vs %d", a.Cycles, b.Cycles)
 			return false
@@ -98,7 +98,7 @@ func TestSystemInvariantsAllConfigs(t *testing.T) {
 		func() Config { return DefaultConfig() },
 		func() Config {
 			cfg := DefaultConfig()
-			cfg.Conven = prefetch.NewConven(4, 6)
+			cfg.Conven = mustConven(4, 6)
 			return cfg
 		},
 		func() Config {
@@ -108,17 +108,17 @@ func TestSystemInvariantsAllConfigs(t *testing.T) {
 		},
 		func() Config {
 			cfg := DefaultConfig()
-			cfg.ULMT = prefetch.NewChain(table.NewBase(table.ChainParams(1<<10), TableBase), 3)
+			cfg.ULMT = mustChain(table.NewBase(table.ChainParams(1<<10), TableBase), 3)
 			return cfg
 		},
 		func() Config {
 			cfg := DefaultConfig()
-			cfg.ULMT = prefetch.NewSeq(4, 6, TableBase)
+			cfg.ULMT = mustSeq(4, 6, TableBase)
 			return cfg
 		},
 		func() Config {
 			cfg := DefaultConfig()
-			cfg.DASP = prefetch.NewConven(4, 6)
+			cfg.DASP = mustConven(4, 6)
 			return cfg
 		},
 		func() Config {
@@ -128,7 +128,7 @@ func TestSystemInvariantsAllConfigs(t *testing.T) {
 		},
 	}
 	for i, mk := range configs {
-		r := NewSystem(mk()).Run("fixed", ops)
+		r := mustSystem(mk()).Run("fixed", ops)
 		if r.OpsRetired != uint64(len(ops)) {
 			t.Errorf("config %d: retired %d of %d", i, r.OpsRetired, len(ops))
 		}

@@ -88,7 +88,10 @@ func RunMulti(mc MultiConfig) (MultiResults, error) {
 			}
 		}
 	}
-	s := NewSystem(cfg)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return MultiResults{}, err
+	}
 
 	// Disjoint virtual regions: offset each app's addresses.
 	procs := make([]*cpu.Processor, len(mc.Apps))
@@ -97,7 +100,10 @@ func RunMulti(mc MultiConfig) (MultiResults, error) {
 	remaining := len(mc.Apps)
 	for i, app := range mc.Apps {
 		ops := offsetOps(app.Ops, mem.Addr(uint64(i)<<40))
-		procs[i] = cpu.New(s.eng, cfg.CPU, s, ops)
+		procs[i], err = cpu.New(s.eng, cfg.CPU, s, ops)
+		if err != nil {
+			return MultiResults{}, err
+		}
 		i := i
 		procs[i].Start(func() {
 			finished[i] = true

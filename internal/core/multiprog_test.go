@@ -59,7 +59,7 @@ func TestRunMultiTimeSharingCostsThroughput(t *testing.T) {
 	// run, and total time must be at least the solo time.
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	solo := NewSystem(cfg).Run("chase", chaseOps(8192, 2))
+	solo := mustSystem(cfg).Run("chase", chaseOps(8192, 2))
 
 	cfg2 := DefaultConfig()
 	cfg2.LinearPages = true
@@ -127,12 +127,15 @@ func TestRunMultiPrivateTablesBeatShared(t *testing.T) {
 func TestProcessorPauseResume(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	s := NewSystem(cfg)
+	s := mustSystem(cfg)
 	// Drive a single processor manually with pause/resume around a
 	// fixed window and confirm it still finishes with all ops retired.
 	ops := chaseOps(2048, 1)
 	done := false
-	p := cpu.New(s.eng, cfg.CPU, s, ops)
+	p, err := cpu.New(s.eng, cfg.CPU, s, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p.Start(func() { done = true })
 	s.eng.At(10_000, p.Pause)
 	s.eng.At(60_000, p.Resume)

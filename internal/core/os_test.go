@@ -26,7 +26,7 @@ func TestScheduleRemapRelocatesTableRows(t *testing.T) {
 	cfg.Seed = 3 // scattered paging, so a remap moves the frame
 	tbl := table.NewRepl(table.ReplParams(1<<15), TableBase)
 	cfg.ULMT = prefetch.NewRepl(tbl)
-	sys := NewSystem(cfg)
+	sys := mustSystem(cfg)
 	sys.ScheduleRemap(500000, firstAddr)
 	r := sys.Run("remap", ops)
 
@@ -55,7 +55,7 @@ func TestScheduleRemapWithoutULMTIsHarmless(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.Seed = 3
-	sys := NewSystem(cfg)
+	sys := mustSystem(cfg)
 	sys.ScheduleRemap(1000, base)
 	r := sys.Run("remap", b.Ops())
 	if r.OpsRetired == 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"ulmt/internal/cache"
 	"ulmt/internal/dram"
+	"ulmt/internal/fault"
 	"ulmt/internal/sim"
 	"ulmt/internal/stats"
 )
@@ -59,6 +60,16 @@ type Results struct {
 	// prefetches cancelled against queues 1/2.
 	CrossMatchedDemand uint64
 	CrossMatchedPush   uint64
+
+	// Faults counts the fault events the configured plan injected
+	// into this run (all zero without a plan).
+	Faults fault.Injected
+	// DegradedSheds counts observations the occupancy watchdog shed
+	// from the ULMT backlog; DegradedDrops observations it refused
+	// during backoff windows. Both are zero unless
+	// Config.BacklogHighWater arms the watchdog.
+	DegradedSheds uint64
+	DegradedDrops uint64
 
 	// ConvenIssued counts processor-side prefetch lines requested.
 	ConvenIssued uint64

@@ -25,7 +25,7 @@ func smokeOps(t *testing.T, name string) []workload.Op {
 func TestSmokeNoPref(t *testing.T) {
 	ops := smokeOps(t, "Mcf")
 	cfg := DefaultConfig()
-	sys := NewSystem(cfg)
+	sys := mustSystem(cfg)
 	r := sys.Run("Mcf", ops)
 	if r.Cycles <= 0 {
 		t.Fatalf("run did not advance time: %+v", r)
@@ -43,12 +43,12 @@ func TestSmokeNoPref(t *testing.T) {
 func TestSmokeRepl(t *testing.T) {
 	ops := smokeOps(t, "Mcf")
 
-	base := NewSystem(DefaultConfig()).Run("Mcf", ops)
+	base := mustSystem(DefaultConfig()).Run("Mcf", ops)
 
 	cfg := DefaultConfig()
 	tbl := table.NewRepl(table.ReplParams(1<<15), TableBase)
 	cfg.ULMT = prefetch.NewRepl(tbl)
-	r := NewSystem(cfg).Run("Mcf", ops)
+	r := mustSystem(cfg).Run("Mcf", ops)
 
 	if r.OpsRetired != uint64(len(ops)) {
 		t.Fatalf("retired %d of %d ops", r.OpsRetired, len(ops))

@@ -7,6 +7,7 @@ import (
 	"ulmt/internal/cache"
 	"ulmt/internal/cpu"
 	"ulmt/internal/dram"
+	"ulmt/internal/fault"
 	"ulmt/internal/mem"
 	"ulmt/internal/memproc"
 	"ulmt/internal/prefetch"
@@ -68,6 +69,21 @@ type System struct {
 	// OS events (§3.4 page re-mapping).
 	remapsHandled  uint64
 	remapRowsMoved uint64
+
+	// Fault injection. faults is nil unless a plan is configured;
+	// every fault path checks that first, so the unfaulted event flow
+	// is untouched. The event counters index the plan's stateless
+	// per-site decision streams; inj records what was injected.
+	faults   *fault.Plan
+	obsSeen  uint64
+	pushSeen uint64
+	sessSeen uint64
+	inj      fault.Injected
+
+	// Occupancy watchdog (graceful degradation under backlog).
+	backoffUntil    sim.Cycle
+	degradedSheds   uint64
+	degradedDropped uint64
 }
 
 // l1Miss tracks one outstanding L1 miss and the processor requests
@@ -94,29 +110,63 @@ type l2Waiter struct {
 	write  bool
 }
 
-// NewSystem builds a machine from the configuration.
-func NewSystem(cfg Config) *System {
+// NewSystem builds a machine from the configuration, or reports the
+// first configuration error.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine()
-	d := dram.New(cfg.DRAM)
+	d, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	l1, err := cache.New(cfg.L1)
+	if err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	q1, err := queue.New("q1", cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	q2, err := queue.New("q2", cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	q3, err := queue.New("q3", cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	filter, err := queue.NewFilter(cfg.FilterSize)
+	if err != nil {
+		return nil, err
+	}
 	s := &System{
 		cfg:       cfg,
 		eng:       eng,
 		mapper:    mem.NewPageMapper(cfg.LinearPages, cfg.Seed),
-		l1:        cache.New(cfg.L1),
-		l2:        cache.New(cfg.L2),
+		l1:        l1,
+		l2:        l2,
 		fsb:       bus.New(eng, cfg.Bus),
 		ram:       d,
-		q1:        queue.New("q1", cfg.QueueDepth),
-		q2:        queue.New("q2", cfg.QueueDepth),
-		q3:        queue.New("q3", cfg.QueueDepth),
-		filter:    queue.NewFilter(cfg.FilterSize),
+		q1:        q1,
+		q2:        q2,
+		q3:        q3,
+		filter:    filter,
 		pendingL1: make(map[mem.Line]*l1Miss),
 		pendingL2: make(map[mem.Line]*l2Miss),
 		missDist:  stats.MissDistanceHistogram(),
 	}
 	s.ulmt = cfg.ULMT
 	if cfg.ULMT != nil || cfg.Active != nil {
-		s.mp = memproc.New(cfg.MemProc, d)
+		s.mp, err = memproc.New(cfg.MemProc, d)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Active != nil {
 		ac := *cfg.Active
@@ -125,7 +175,59 @@ func NewSystem(cfg Config) *System {
 		}
 		s.active = &activeState{cfg: ac, emitted: make(map[mem.Line]int)}
 	}
-	return s
+	if cfg.Faults.Enabled() {
+		s.faults = cfg.Faults
+		s.wireFaultHooks()
+	}
+	return s, nil
+}
+
+// wireFaultHooks installs the bandwidth fault hooks on the bus and
+// DRAM. Only the classes the plan actually configures get a hook, so
+// a drops-only plan leaves the bandwidth paths hook-free.
+func (s *System) wireFaultHooks() {
+	fc := s.faults.Config()
+	if fc.BrownoutPeriod > 0 {
+		s.fsb.SetStretch(func(now, dur sim.Cycle) sim.Cycle {
+			stretched := s.faults.BusStretch(now, dur)
+			if stretched > dur {
+				s.inj.BusSlowTransfers++
+				s.inj.BusSlowCycles += stretched - dur
+			}
+			return stretched
+		})
+	}
+	if fc.SpikePeriod > 0 {
+		s.ram.SetPenalty(func(now sim.Cycle) sim.Cycle {
+			p := s.faults.BankPenalty(now)
+			if p > 0 {
+				s.inj.BankPenalties++
+				s.inj.BankPenaltyCycles += p
+			}
+			return p
+		})
+	}
+}
+
+// scheduleFaultRemaps turns the plan's remap events into ScheduleRemap
+// calls against live workload addresses, so each event retargets a
+// page the application actually touches.
+func (s *System) scheduleFaultRemaps(ops []workload.Op) {
+	if s.faults == nil || len(ops) == 0 {
+		return
+	}
+	for _, ev := range s.faults.RemapSchedule() {
+		idx := int(ev.Pick % uint64(len(ops)))
+		for i := 0; i < len(ops); i++ {
+			op := ops[(idx+i)%len(ops)]
+			if op.Kind == workload.Compute {
+				continue
+			}
+			s.ScheduleRemap(ev.At, op.Addr)
+			s.inj.RemapsScheduled++
+			break
+		}
+	}
 }
 
 // Engine exposes the simulation clock for callers that interleave
@@ -135,11 +237,18 @@ func (s *System) Engine() *sim.Engine { return s.eng }
 // Run executes the op stream to completion and returns the
 // measurements.
 func (s *System) Run(app string, ops []workload.Op) Results {
-	s.proc = cpu.New(s.eng, s.cfg.CPU, s, ops)
+	proc, err := cpu.New(s.eng, s.cfg.CPU, s, ops)
+	if err != nil {
+		// NewSystem validated cfg.CPU; failing here is an internal
+		// invariant violation, not a user error.
+		panic(err)
+	}
+	s.proc = proc
 	s.proc.Start(nil)
 	if s.active != nil {
 		s.eng.At(0, s.pumpActive)
 	}
+	s.scheduleFaultRemaps(ops)
 	s.eng.Run()
 	return s.results(app)
 }
@@ -163,6 +272,9 @@ func (s *System) results(app string) Results {
 		Q3Drops:              s.q3Drops,
 		CrossMatchedDemand:   s.xMatchDemand,
 		CrossMatchedPush:     s.xMatchPush,
+		Faults:               s.inj,
+		DegradedSheds:        s.degradedSheds,
+		DegradedDrops:        s.degradedDropped,
 		OpsRetired:           s.proc.Retired,
 		CPUIssueCycles:       s.proc.IssueCycles,
 		CPUComputeCycles:     s.proc.ComputeCycles,
@@ -385,6 +497,22 @@ func (s *System) drainL2Victims() {
 		s.wbOut = append(s.wbOut, l)
 	}
 	// pumpMemory is triggered by the caller's event flow.
+}
+
+// Quiesced reports whether the machine has fully drained: no queued
+// requests, no outstanding misses, no buffered write-backs, no bus
+// backlog. The chaos suite asserts this after every faulted run — a
+// fault schedule must never strand a request.
+func (s *System) Quiesced() bool {
+	return s.q1.Len() == 0 && s.q2.Len() == 0 && s.q3.Len() == 0 &&
+		len(s.wbOut) == 0 && len(s.pendingL1) == 0 && len(s.pendingL2) == 0 &&
+		s.fsb.Backlog() == 0
+}
+
+// CacheFingerprint folds the final L1 and L2 contents into a hash,
+// for end-state comparison across runs.
+func (s *System) CacheFingerprint() uint64 {
+	return s.l1.Fingerprint()*0x9e3779b97f4a7c15 + s.l2.Fingerprint()
 }
 
 // DrainState summarizes outstanding machine state, for debugging

@@ -58,7 +58,7 @@ func replConfig(rows int) Config {
 func TestExecBreakdownSumsToRunLength(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	r := NewSystem(cfg).Run("seq", seqOps(4096, 2))
+	r := mustSystem(cfg).Run("seq", seqOps(4096, 2))
 	if r.Exec.Total() != r.Cycles {
 		t.Errorf("breakdown %d != cycles %d", r.Exec.Total(), r.Cycles)
 	}
@@ -66,8 +66,8 @@ func TestExecBreakdownSumsToRunLength(t *testing.T) {
 
 func TestRunDeterminism(t *testing.T) {
 	ops := chaseOps(4096, 3)
-	a := NewSystem(replConfig(1<<13)).Run("x", ops)
-	b := NewSystem(replConfig(1<<13)).Run("x", ops)
+	a := mustSystem(replConfig(1<<13)).Run("x", ops)
+	b := mustSystem(replConfig(1<<13)).Run("x", ops)
 	if a.Cycles != b.Cycles || a.DemandMissesToMemory != b.DemandMissesToMemory ||
 		a.PushesToL2 != b.PushesToL2 || a.Outcomes.Hits != b.Outcomes.Hits {
 		t.Errorf("nondeterministic runs: %+v vs %+v", a.Cycles, b.Cycles)
@@ -81,8 +81,8 @@ func TestPointerChaseSpeedupFromULMT(t *testing.T) {
 	ops := chaseOps(16384, 3) // 1 MB working set
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	base := NewSystem(cfg).Run("chase", ops)
-	r := NewSystem(replConfig(1<<15)).Run("chase", ops)
+	base := mustSystem(cfg).Run("chase", ops)
+	r := mustSystem(replConfig(1<<15)).Run("chase", ops)
 	if sp := r.Speedup(base); sp < 1.2 {
 		t.Errorf("speedup = %.3f, want > 1.2 on an ideal correlation target", sp)
 	}
@@ -98,7 +98,7 @@ func TestDelayedHitsOccur(t *testing.T) {
 	// With prefetching on a fast-missing chase, some pushes arrive
 	// while the demand miss is in flight.
 	ops := chaseOps(16384, 3)
-	r := NewSystem(replConfig(1<<15)).Run("chase", ops)
+	r := mustSystem(replConfig(1<<15)).Run("chase", ops)
 	if r.Outcomes.DelayedHits == 0 {
 		t.Error("expected some delayed hits (MSHR steals / controller matches)")
 	}
@@ -120,11 +120,11 @@ func TestConvenHelpsDependentSequential(t *testing.T) {
 
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	baseRes := NewSystem(cfg).Run("seqdep", ops)
+	baseRes := mustSystem(cfg).Run("seqdep", ops)
 	cfg2 := DefaultConfig()
 	cfg2.LinearPages = true
-	cfg2.Conven = prefetch.NewConven(4, 6)
-	r := NewSystem(cfg2).Run("seqdep", ops)
+	cfg2.Conven = mustConven(4, 6)
+	r := mustSystem(cfg2).Run("seqdep", ops)
 	if sp := r.Speedup(baseRes); sp < 1.5 {
 		t.Errorf("Conven4 speedup on a dependent stream = %.3f", sp)
 	}
@@ -136,9 +136,9 @@ func TestConvenHelpsDependentSequential(t *testing.T) {
 func TestULMTObservesOnlyDemandInNonVerbose(t *testing.T) {
 	ops := seqOps(16384, 2)
 	cfg := replConfig(1 << 14)
-	cfg.Conven = prefetch.NewConven(4, 6)
+	cfg.Conven = mustConven(4, 6)
 	cfg.Verbose = false
-	r := NewSystem(cfg).Run("seq", ops)
+	r := mustSystem(cfg).Run("seq", ops)
 	// Every processed observation is a demand miss: processed +
 	// dropped cannot exceed demand misses at memory.
 	if r.ULMT.MissesProcessed+r.ULMT.MissesDropped > r.DemandMissesToMemory {
@@ -154,9 +154,9 @@ func TestVerboseModeSeesMore(t *testing.T) {
 	ops := seqOps(16384, 2)
 	mk := func(verbose bool) Results {
 		cfg := replConfig(1 << 14)
-		cfg.Conven = prefetch.NewConven(4, 6)
+		cfg.Conven = mustConven(4, 6)
 		cfg.Verbose = verbose
-		return NewSystem(cfg).Run("seq", ops)
+		return mustSystem(cfg).Run("seq", ops)
 	}
 	nv := mk(false)
 	vb := mk(true)
@@ -171,16 +171,16 @@ func TestNorthBridgePlacementStillWorks(t *testing.T) {
 	ops := chaseOps(16384, 3)
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	base := NewSystem(cfg).Run("chase", ops)
+	base := mustSystem(cfg).Run("chase", ops)
 
 	nb := replConfig(1 << 15)
 	nb.MemProc = memproc.DefaultConfig(memproc.InNorthBridge)
-	r := NewSystem(nb).Run("chase", ops)
+	r := mustSystem(nb).Run("chase", ops)
 	if sp := r.Speedup(base); sp < 1.1 {
 		t.Errorf("NB placement speedup = %.3f; far-ahead prefetching should survive the latency", sp)
 	}
 	// The NB memory processor must be slower per miss.
-	dr := NewSystem(replConfig(1<<15)).Run("chase", ops)
+	dr := mustSystem(replConfig(1<<15)).Run("chase", ops)
 	if r.ULMT.AvgOccupancy() <= dr.ULMT.AvgOccupancy() {
 		t.Errorf("NB occupancy (%.1f) should exceed in-DRAM (%.1f)",
 			r.ULMT.AvgOccupancy(), dr.ULMT.AvgOccupancy())
@@ -189,11 +189,11 @@ func TestNorthBridgePlacementStillWorks(t *testing.T) {
 
 func TestDropPushesAblationKillsBenefit(t *testing.T) {
 	ops := chaseOps(16384, 3)
-	normal := NewSystem(replConfig(1<<15)).Run("chase", ops)
+	normal := mustSystem(replConfig(1<<15)).Run("chase", ops)
 	dropped := func() Results {
 		cfg := replConfig(1 << 15)
 		cfg.DropPushes = true
-		return NewSystem(cfg).Run("chase", ops)
+		return mustSystem(cfg).Run("chase", ops)
 	}()
 	if dropped.Outcomes.Hits != 0 {
 		t.Error("DropPushes must prevent all prefetch hits")
@@ -205,11 +205,11 @@ func TestDropPushesAblationKillsBenefit(t *testing.T) {
 
 func TestLearnFirstAblationRaisesResponse(t *testing.T) {
 	ops := chaseOps(16384, 2)
-	normal := NewSystem(replConfig(1<<15)).Run("chase", ops)
+	normal := mustSystem(replConfig(1<<15)).Run("chase", ops)
 	lf := func() Results {
 		cfg := replConfig(1 << 15)
 		cfg.LearnFirst = true
-		return NewSystem(cfg).Run("chase", ops)
+		return mustSystem(cfg).Run("chase", ops)
 	}()
 	if lf.ULMT.AvgResponse() <= normal.ULMT.AvgResponse() {
 		t.Errorf("learn-first response (%.1f) should exceed prefetch-first (%.1f)",
@@ -231,7 +231,7 @@ func TestStoresAreWriteAllocated(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	r := NewSystem(cfg).Run("wb", b.Ops())
+	r := mustSystem(cfg).Run("wb", b.Ops())
 	if r.L2.DirtyEvicts == 0 {
 		t.Error("expected dirty L2 evictions from stored lines")
 	}
@@ -239,7 +239,7 @@ func TestStoresAreWriteAllocated(t *testing.T) {
 
 func TestFilterSuppressesDuplicatePrefetches(t *testing.T) {
 	ops := chaseOps(16384, 3)
-	r := NewSystem(replConfig(1<<15)).Run("chase", ops)
+	r := mustSystem(replConfig(1<<15)).Run("chase", ops)
 	if r.FilterDropped == 0 {
 		t.Error("the Filter module never dropped anything on overlapping windows")
 	}
@@ -248,7 +248,7 @@ func TestFilterSuppressesDuplicatePrefetches(t *testing.T) {
 func TestMissDistanceRecorded(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	r := NewSystem(cfg).Run("seq", seqOps(8192, 1))
+	r := mustSystem(cfg).Run("seq", seqOps(8192, 1))
 	if r.MissDistance.Total() == 0 {
 		t.Error("no miss distances recorded")
 	}
@@ -263,7 +263,7 @@ func TestCrossMatchAblation(t *testing.T) {
 		cfg := replConfig(1 << 15)
 		cfg.IssuePortBusy = 40
 		cfg.DisableCrossMatch = disable
-		return NewSystem(cfg).Run("chase", ops)
+		return mustSystem(cfg).Run("chase", ops)
 	}
 	on := mk(false)
 	off := mk(true)
@@ -278,7 +278,7 @@ func TestCrossMatchAblation(t *testing.T) {
 func TestBusUtilizationPositive(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LinearPages = true
-	r := NewSystem(cfg).Run("seq", seqOps(8192, 1))
+	r := mustSystem(cfg).Run("seq", seqOps(8192, 1))
 	if r.BusUtilization <= 0 || r.BusUtilization > 1 {
 		t.Errorf("bus utilization = %f", r.BusUtilization)
 	}
@@ -293,12 +293,12 @@ func TestScatteredPagingDefeatsConvenAcrossPages(t *testing.T) {
 	ops := seqOps(32768, 1)
 	linear := DefaultConfig()
 	linear.LinearPages = true
-	linear.Conven = prefetch.NewConven(4, 6)
+	linear.Conven = mustConven(4, 6)
 	scattered := DefaultConfig()
 	scattered.LinearPages = false
-	scattered.Conven = prefetch.NewConven(4, 6)
-	lr := NewSystem(linear).Run("seq", ops)
-	sr := NewSystem(scattered).Run("seq", ops)
+	scattered.Conven = mustConven(4, 6)
+	lr := mustSystem(linear).Run("seq", ops)
+	sr := mustSystem(scattered).Run("seq", ops)
 	if sr.ConvenIssued >= lr.ConvenIssued {
 		t.Errorf("scattered paging should reduce stream coverage: %d >= %d",
 			sr.ConvenIssued, lr.ConvenIssued)

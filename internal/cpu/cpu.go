@@ -19,6 +19,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"ulmt/internal/mem"
 	"ulmt/internal/sim"
 	"ulmt/internal/stats"
@@ -58,6 +60,20 @@ type Config struct {
 // DefaultConfig matches Table 3's main processor.
 func DefaultConfig() Config {
 	return Config{IssueWidth: 6, MaxPendingLoads: 8, MaxPendingStores: 16, Window: 128}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	if c.IssueWidth < 1 {
+		return fmt.Errorf("cpu: IssueWidth must be >= 1, got %d", c.IssueWidth)
+	}
+	if c.MaxPendingLoads < 1 {
+		return fmt.Errorf("cpu: MaxPendingLoads must be >= 1, got %d", c.MaxPendingLoads)
+	}
+	if c.MaxPendingStores < 1 {
+		return fmt.Errorf("cpu: MaxPendingStores must be >= 1, got %d", c.MaxPendingStores)
+	}
+	return nil
 }
 
 type blockReason int
@@ -119,14 +135,14 @@ type Processor struct {
 }
 
 // New builds a processor over the op stream. Call Start to begin.
-func New(eng *sim.Engine, cfg Config, m Memory, ops []workload.Op) *Processor {
-	if cfg.IssueWidth < 1 || cfg.MaxPendingLoads < 1 || cfg.MaxPendingStores < 1 {
-		panic("cpu: invalid config")
+func New(eng *sim.Engine, cfg Config, m Memory, ops []workload.Op) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Window < cfg.MaxPendingLoads {
 		cfg.Window = cfg.MaxPendingLoads * 8
 	}
-	return &Processor{eng: eng, cfg: cfg, mem: m, ops: ops, lastLoadDone: true}
+	return &Processor{eng: eng, cfg: cfg, mem: m, ops: ops, lastLoadDone: true}, nil
 }
 
 // Start schedules execution; onDone fires when the last op and all

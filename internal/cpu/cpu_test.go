@@ -45,7 +45,10 @@ func run(t *testing.T, ops []workload.Op, setup func(*fakeMem)) (*Processor, *fa
 	if setup != nil {
 		setup(fm)
 	}
-	p := New(eng, DefaultConfig(), fm, ops)
+	p, err := New(eng, DefaultConfig(), fm, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p.Start(nil)
 	eng.Run()
 	if !p.Finished() {
@@ -228,11 +231,11 @@ func TestWindowLimitBounds(t *testing.T) {
 	}
 }
 
-func TestInvalidConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("invalid config must panic")
-		}
-	}()
-	New(sim.NewEngine(), Config{}, newFakeMem(sim.NewEngine()), nil)
+func TestInvalidConfigErrors(t *testing.T) {
+	if _, err := New(sim.NewEngine(), Config{}, newFakeMem(sim.NewEngine()), nil); err == nil {
+		t.Error("invalid config must return an error")
+	}
+	if err := (Config{IssueWidth: 1, MaxPendingLoads: 1, MaxPendingStores: 0}).Validate(); err == nil {
+		t.Error("zero MaxPendingStores must fail validation")
+	}
 }

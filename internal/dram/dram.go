@@ -13,6 +13,8 @@
 package dram
 
 import (
+	"fmt"
+
 	"ulmt/internal/mem"
 	"ulmt/internal/sim"
 )
@@ -30,6 +32,25 @@ type Config struct {
 	ServiceCycles sim.Cycle
 	// LineSize is the transfer unit (the main processor's L2 line).
 	LineSize mem.LineSize
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	if c.Channels <= 0 || c.BanksPerChannel <= 0 {
+		return fmt.Errorf("dram: need at least one channel and bank (got %d x %d)",
+			c.Channels, c.BanksPerChannel)
+	}
+	if c.Channels&(c.Channels-1) != 0 || c.BanksPerChannel&(c.BanksPerChannel-1) != 0 {
+		return fmt.Errorf("dram: channels (%d) and banks (%d) must be powers of two",
+			c.Channels, c.BanksPerChannel)
+	}
+	if c.RowBytes <= 0 {
+		return fmt.Errorf("dram: RowBytes must be positive, got %d", c.RowBytes)
+	}
+	if c.ServiceCycles <= 0 {
+		return fmt.Errorf("dram: ServiceCycles must be positive, got %d", c.ServiceCycles)
+	}
+	return nil
 }
 
 // DefaultConfig returns the Table 3 geometry: dual channel, 8 banks
@@ -68,15 +89,18 @@ type DRAM struct {
 	bankBits uint
 	rowShift uint // line index -> row number shift (within a bank)
 	stats    Stats
+
+	// penalty, when set, adds extra bank-busy time to an access
+	// starting at the given cycle (fault injection: contention
+	// spikes). Nil on the fast path.
+	penalty func(now sim.Cycle) sim.Cycle
 }
 
-// New builds a DRAM with all rows closed.
-func New(cfg Config) *DRAM {
-	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 {
-		panic("dram: need at least one channel and bank")
-	}
-	if cfg.Channels&(cfg.Channels-1) != 0 || cfg.BanksPerChannel&(cfg.BanksPerChannel-1) != 0 {
-		panic("dram: channels and banks must be powers of two")
+// New builds a DRAM with all rows closed, or reports why the geometry
+// is invalid.
+func New(cfg Config) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	d := &DRAM{cfg: cfg}
 	n := cfg.Channels * cfg.BanksPerChannel
@@ -93,8 +117,13 @@ func New(cfg Config) *DRAM {
 		linesPerRow = 1
 	}
 	d.rowShift = log2(linesPerRow)
-	return d
+	return d, nil
 }
+
+// SetPenalty installs an extra-bank-busy hook; f receives the access
+// start time and returns additional cycles the bank stays busy. Used
+// by the fault layer to model bank-contention spikes.
+func (d *DRAM) SetPenalty(f func(now sim.Cycle) sim.Cycle) { d.penalty = f }
 
 // Access serializes one line read/write on its bank starting no
 // earlier than now. It returns when the bank begins the access and
@@ -114,6 +143,9 @@ func (d *DRAM) Access(now sim.Cycle, line mem.Line) (start sim.Cycle, rowHit boo
 	rowHit = bk.openRow == row
 	bk.openRow = row
 	bk.busyUntil = start + d.cfg.ServiceCycles
+	if d.penalty != nil {
+		bk.busyUntil += d.penalty(start)
+	}
 	d.stats.Accesses++
 	if rowHit {
 		d.stats.RowHits++

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRowHitAfterAccess(t *testing.T) {
-	d := New(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	l := mem.Line(0x1234)
 	_, hit := d.Access(0, l)
 	if hit {
@@ -26,7 +26,7 @@ func TestRowHitAfterAccess(t *testing.T) {
 
 func TestRowConflict(t *testing.T) {
 	cfg := DefaultConfig()
-	d := New(cfg)
+	d := mustNew(t, cfg)
 	l := mem.Line(0)
 	// Same bank, different row: line + banks*channels*linesPerRow.
 	linesPerRow := uint64(cfg.RowBytes) >> cfg.LineSize.Shift()
@@ -44,7 +44,7 @@ func TestRowConflict(t *testing.T) {
 
 func TestBankContention(t *testing.T) {
 	cfg := DefaultConfig()
-	d := New(cfg)
+	d := mustNew(t, cfg)
 	l := mem.Line(7)
 	start1, _ := d.Access(100, l)
 	if start1 != 100 {
@@ -61,7 +61,7 @@ func TestBankContention(t *testing.T) {
 }
 
 func TestDifferentBanksOverlap(t *testing.T) {
-	d := New(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	// Adjacent lines interleave across channels/banks, so they must
 	// not serialize.
 	s1, _ := d.Access(0, 0)
@@ -72,7 +72,7 @@ func TestDifferentBanksOverlap(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	d := New(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	d.Access(0, 5)
 	d.Access(100, 5)
 	d.Access(200, 5)
@@ -90,7 +90,7 @@ func TestStats(t *testing.T) {
 
 func TestSequentialLinesSpreadOverBanks(t *testing.T) {
 	cfg := DefaultConfig()
-	d := New(cfg)
+	d := mustNew(t, cfg)
 	banks := map[int]bool{}
 	for i := 0; i < cfg.Channels*cfg.BanksPerChannel; i++ {
 		b, _ := d.locate(mem.Line(i))
@@ -102,7 +102,7 @@ func TestSequentialLinesSpreadOverBanks(t *testing.T) {
 }
 
 func TestLocateStableProperty(t *testing.T) {
-	d := New(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	f := func(l uint32) bool {
 		b1, r1 := d.locate(mem.Line(l))
 		b2, r2 := d.locate(mem.Line(l))
@@ -115,7 +115,7 @@ func TestLocateStableProperty(t *testing.T) {
 
 func TestMonotonicStartProperty(t *testing.T) {
 	// An access never starts before it is issued.
-	d := New(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	f := func(l uint16, at uint16) bool {
 		now := sim.Cycle(at)
 		start, _ := d.Access(now, mem.Line(l))
@@ -132,13 +132,8 @@ func TestInvalidConfigPanics(t *testing.T) {
 		{Channels: 3, BanksPerChannel: 8, RowBytes: 4096, LineSize: mem.LineSize64},
 		{Channels: 2, BanksPerChannel: 0, RowBytes: 4096, LineSize: mem.LineSize64},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("config %+v did not panic", cfg)
-				}
-			}()
-			New(cfg)
-		}()
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v did not error", cfg)
+		}
 	}
 }

@@ -1,0 +1,13 @@
+package dram
+
+import "testing"
+
+// mustNew builds a DRAM with a known-good config for tests.
+func mustNew(t *testing.T, cfg Config) *DRAM {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return d
+}

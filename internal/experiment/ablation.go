@@ -37,7 +37,7 @@ func (r *Runner) Ablations(app string) []AblationRow {
 		if mutate != nil {
 			mutate(&cfg)
 		}
-		return core.NewSystem(cfg).Run(app, ops)
+		return must(core.NewSystem(cfg)).Run(app, ops)
 	}
 
 	normal := r.Run(app, CfgRepl)
@@ -86,7 +86,7 @@ func (r *Runner) Ablations(app string) []AblationRow {
 	adaptive := build(func(c *core.Config) {
 		p := table.ReplParams(rows)
 		c.ULMT = prefetch.NewAdaptive(
-			prefetch.NewSeq(4, 6, SeqStateBase),
+			must(prefetch.NewSeq(4, 6, SeqStateBase)),
 			prefetch.NewRepl(table.NewRepl(p, TableBase)),
 		)
 	})

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"ulmt/internal/core"
+	"ulmt/internal/fault"
 	"ulmt/internal/mem"
 	"ulmt/internal/memproc"
 	"ulmt/internal/prefetch"
@@ -22,6 +23,16 @@ import (
 // application traffic never alias.
 const TableBase mem.Addr = 1 << 44
 
+// must unwraps constructor results inside the harness. Every
+// configuration the harness builds is hardcoded-valid, so an error
+// here is an internal invariant violation, not a user mistake.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // SeqStateBase is where ULMT sequential-prefetcher stream registers
 // live.
 const SeqStateBase mem.Addr = 1<<44 - 4096
@@ -34,6 +45,10 @@ type Options struct {
 	Apps []string
 	// Seed scrambles page mapping.
 	Seed uint64
+	// Faults, if non-nil, injects the same deterministic fault
+	// schedule into every simulated run of this invocation, so any
+	// table or figure can be regenerated under degraded conditions.
+	Faults *fault.Plan
 }
 
 func (o Options) apps() []string {
@@ -80,6 +95,9 @@ func NewRunner(opt Options) *Runner {
 		runs:   make(map[string]core.Results),
 	}
 }
+
+// Apps returns the application set this runner operates over.
+func (r *Runner) Apps() []string { return r.opt.apps() }
 
 // Ops returns (generating once) the op stream of an application.
 func (r *Runner) Ops(app string) []workload.Op {
@@ -134,6 +152,7 @@ func (r *Runner) predictorRows() int {
 func (r *Runner) BuildConfig(app, label string) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Seed = r.opt.Seed
+	cfg.Faults = r.opt.Faults
 	rows := r.NumRows(app)
 
 	newRepl := func(levels int) prefetch.Algorithm {
@@ -141,19 +160,19 @@ func (r *Runner) BuildConfig(app, label string) core.Config {
 		p.NumLevels = levels
 		return prefetch.NewRepl(table.NewRepl(p, TableBase))
 	}
-	conven := func() { cfg.Conven = prefetch.NewConven(4, 6) }
+	conven := func() { cfg.Conven = must(prefetch.NewConven(4, 6)) }
 
 	switch label {
 	case CfgNoPref:
 	case CfgConven4:
 		conven()
 	case CfgDASP:
-		cfg.DASP = prefetch.NewConven(4, 6)
+		cfg.DASP = must(prefetch.NewConven(4, 6))
 	case CfgBase:
 		cfg.ULMT = prefetch.NewBase(table.NewBase(table.BaseParams(rows), TableBase))
 	case CfgChain:
 		p := table.ChainParams(rows)
-		cfg.ULMT = prefetch.NewChain(table.NewBase(p, TableBase), p.NumLevels)
+		cfg.ULMT = must(prefetch.NewChain(table.NewBase(p, TableBase), p.NumLevels))
 	case CfgRepl:
 		cfg.ULMT = newRepl(3)
 	case CfgReplMC:
@@ -167,12 +186,12 @@ func (r *Runner) BuildConfig(app, label string) core.Config {
 		cfg.ULMT = newRepl(3)
 		cfg.MemProc = memproc.DefaultConfig(memproc.InNorthBridge)
 	case CfgSeq1:
-		cfg.ULMT = prefetch.NewSeq(1, 6, SeqStateBase)
+		cfg.ULMT = must(prefetch.NewSeq(1, 6, SeqStateBase))
 	case CfgSeq4:
-		cfg.ULMT = prefetch.NewSeq(4, 6, SeqStateBase)
+		cfg.ULMT = must(prefetch.NewSeq(4, 6, SeqStateBase))
 	case CfgSeq4Repl:
 		cfg.ULMT = &prefetch.Combined{
-			First:  prefetch.NewSeq(4, 6, SeqStateBase),
+			First:  must(prefetch.NewSeq(4, 6, SeqStateBase)),
 			Second: newRepl(3),
 		}
 	case CfgCustom:
@@ -183,7 +202,7 @@ func (r *Runner) BuildConfig(app, label string) core.Config {
 		switch app {
 		case "CG":
 			cfg.ULMT = &prefetch.Combined{
-				First:  prefetch.NewSeq(1, 6, SeqStateBase),
+				First:  must(prefetch.NewSeq(1, 6, SeqStateBase)),
 				Second: newRepl(3),
 			}
 			cfg.Verbose = true
@@ -206,7 +225,7 @@ func (r *Runner) Run(app, label string) core.Results {
 		return res
 	}
 	cfg := r.BuildConfig(app, label)
-	res := core.NewSystem(cfg).Run(app, r.Ops(app))
+	res := must(core.NewSystem(cfg)).Run(app, r.Ops(app))
 	res.Label = label
 	r.runs[key] = res
 	return res

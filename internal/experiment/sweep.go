@@ -35,7 +35,7 @@ func (r *Runner) SweepNumLevels(app string) []SweepPoint {
 		p := table.ReplParams(rows)
 		p.NumLevels = levels
 		cfg.ULMT = prefetch.NewRepl(table.NewRepl(p, TableBase))
-		res := core.NewSystem(cfg).Run(app, ops)
+		res := must(core.NewSystem(cfg)).Run(app, ops)
 		out = append(out, sweepPoint(app, "NumLevels", levels, res, base))
 	}
 	return out
@@ -59,7 +59,7 @@ func (r *Runner) SweepNumRows(app string) []SweepPoint {
 		cfg := core.DefaultConfig()
 		cfg.Seed = r.opt.Seed
 		cfg.ULMT = prefetch.NewRepl(table.NewRepl(table.ReplParams(n), TableBase))
-		res := core.NewSystem(cfg).Run(app, ops)
+		res := must(core.NewSystem(cfg)).Run(app, ops)
 		out = append(out, sweepPoint(app, "NumRows", n, res, base))
 	}
 	return out

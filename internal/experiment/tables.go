@@ -69,7 +69,7 @@ func (r *Runner) Table1() []Table1Row {
 	{
 		p := table.ChainParams(rows)
 		t := table.NewBase(p, 0)
-		alg := prefetch.NewChain(t, p.NumLevels)
+		alg := must(prefetch.NewChain(t, p.NumLevels))
 		pf, ln, se := measureRowAccesses(t.Stats, alg, seq)
 		out = append(out, Table1Row{
 			Algorithm: "Chain", LevelsPrefetched: p.NumLevels, TrueMRU: false,

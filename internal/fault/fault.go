@@ -1,0 +1,432 @@
+// Package fault is the deterministic fault-injection layer of the
+// memory system. The paper's central safety argument (§3.2, §3.4) is
+// that ULMT correlation prefetching is purely speculative: a dropped
+// queue-2 observation only loses a learning opportunity, a dropped or
+// delayed queue-3 push only loses a prefetch, and a memory thread
+// that falls arbitrarily far behind the miss stream costs performance
+// but never correctness. This package makes that claim testable: a
+// Plan injects those failures (plus bus brownouts, DRAM contention
+// spikes and OS page remaps) on a reproducible, seed-driven schedule,
+// and the chaos suite in internal/core asserts that demand semantics
+// survive any schedule.
+//
+// A Plan is immutable and stateless: every decision is a pure
+// function of (seed, site, event index) or (seed, site, cycle), so
+// the same Plan can drive many Systems and two runs with the same
+// seed see byte-identical fault schedules. A nil *Plan is a valid
+// "no faults" plan — every method is nil-safe and returns the
+// zero decision, and the system model skips the fault paths entirely
+// when no plan is installed, so the unfaulted simulation is
+// bit-identical to a build without this package.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ulmt/internal/sim"
+)
+
+// Config declares fault rates and windows. The zero value means "no
+// faults"; Validate accepts it.
+type Config struct {
+	// Seed drives every pseudo-random decision in the plan.
+	Seed uint64
+
+	// DropObservationPer10k is the probability (in 1/10000) that a
+	// miss observation headed for queue 2 is dropped before the ULMT
+	// sees it — a lossy observation path.
+	DropObservationPer10k int
+	// DropPushPer10k is the probability that a generated prefetch is
+	// dropped before it reaches queue 3.
+	DropPushPer10k int
+	// DelayPushPer10k is the probability that a generated prefetch is
+	// held back between 1 and MaxPushDelay cycles before entering
+	// queue 3 (it re-runs the cross-match on arrival, so a stale
+	// delayed push can still be cancelled or dropped).
+	DelayPushPer10k int
+	// MaxPushDelay bounds the uniform push delay; ignored when
+	// DelayPushPer10k is zero.
+	MaxPushDelay sim.Cycle
+
+	// StallPer10k is the probability that a ULMT processing session
+	// is followed by a preemption window of up to MaxStall cycles
+	// during which the memory thread runs nothing — the "memory
+	// thread falls behind" fault.
+	StallPer10k int
+	// MaxStall bounds the uniform stall window.
+	MaxStall sim.Cycle
+
+	// Bus brownout: during the first BrownoutLen cycles of every
+	// BrownoutPeriod-cycle window (phase-shifted by the seed), every
+	// bus transfer takes BrownoutFactor times as long.
+	BrownoutPeriod sim.Cycle
+	BrownoutLen    sim.Cycle
+	BrownoutFactor int
+
+	// DRAM contention spike: during the first SpikeLen cycles of
+	// every SpikePeriod-cycle window (phase-shifted by the seed),
+	// every bank access holds its bank busy for SpikeExtra additional
+	// cycles.
+	SpikePeriod sim.Cycle
+	SpikeLen    sim.Cycle
+	SpikeExtra  sim.Cycle
+
+	// Remaps schedules that many OS page re-mapping events (§3.4),
+	// spread pseudo-randomly over the first RemapSpan cycles of the
+	// run, each retargeting a pseudo-randomly chosen page of the
+	// workload's footprint.
+	Remaps    int
+	RemapSpan sim.Cycle
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"DropObservationPer10k", c.DropObservationPer10k},
+		{"DropPushPer10k", c.DropPushPer10k},
+		{"DelayPushPer10k", c.DelayPushPer10k},
+		{"StallPer10k", c.StallPer10k},
+	} {
+		if p.v < 0 || p.v > 10000 {
+			return fmt.Errorf("fault: %s must be in [0,10000], got %d", p.name, p.v)
+		}
+	}
+	if c.DelayPushPer10k > 0 && c.MaxPushDelay <= 0 {
+		return fmt.Errorf("fault: DelayPushPer10k set but MaxPushDelay is %d", c.MaxPushDelay)
+	}
+	if c.StallPer10k > 0 && c.MaxStall <= 0 {
+		return fmt.Errorf("fault: StallPer10k set but MaxStall is %d", c.MaxStall)
+	}
+	if c.BrownoutPeriod < 0 || c.BrownoutLen < 0 || (c.BrownoutPeriod > 0 && c.BrownoutLen > c.BrownoutPeriod) {
+		return fmt.Errorf("fault: brownout window %d must fit in period %d", c.BrownoutLen, c.BrownoutPeriod)
+	}
+	if c.BrownoutPeriod > 0 && (c.BrownoutLen <= 0 || c.BrownoutFactor < 2) {
+		return fmt.Errorf("fault: brownout needs BrownoutLen >= 1 and BrownoutFactor >= 2")
+	}
+	if c.SpikePeriod < 0 || c.SpikeLen < 0 || (c.SpikePeriod > 0 && c.SpikeLen > c.SpikePeriod) {
+		return fmt.Errorf("fault: spike window %d must fit in period %d", c.SpikeLen, c.SpikePeriod)
+	}
+	if c.SpikePeriod > 0 && (c.SpikeLen <= 0 || c.SpikeExtra <= 0) {
+		return fmt.Errorf("fault: spike needs SpikeLen >= 1 and SpikeExtra >= 1")
+	}
+	if c.Remaps < 0 {
+		return fmt.Errorf("fault: Remaps must be >= 0, got %d", c.Remaps)
+	}
+	if c.Remaps > 0 && c.RemapSpan <= 0 {
+		return fmt.Errorf("fault: Remaps set but RemapSpan is %d", c.RemapSpan)
+	}
+	return nil
+}
+
+// Enabled reports whether any fault class is configured.
+func (c Config) Enabled() bool {
+	return c.DropObservationPer10k > 0 || c.DropPushPer10k > 0 ||
+		c.DelayPushPer10k > 0 || c.StallPer10k > 0 ||
+		c.BrownoutPeriod > 0 || c.SpikePeriod > 0 || c.Remaps > 0
+}
+
+// Plan is a compiled, immutable fault schedule. The nil plan injects
+// nothing.
+type Plan struct {
+	cfg Config
+	// Precomputed phase offsets so windows do not all open at cycle 0.
+	brownoutPhase sim.Cycle
+	spikePhase    sim.Cycle
+}
+
+// NewPlan validates the configuration and compiles a plan.
+func NewPlan(c Config) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{cfg: c}
+	if c.BrownoutPeriod > 0 {
+		p.brownoutPhase = sim.Cycle(mix(c.Seed, siteBrownout, 0) % uint64(c.BrownoutPeriod))
+	}
+	if c.SpikePeriod > 0 {
+		p.spikePhase = sim.Cycle(mix(c.Seed, siteSpike, 0) % uint64(c.SpikePeriod))
+	}
+	return p, nil
+}
+
+// Config returns the plan's configuration (zero value for nil plans).
+func (p *Plan) Config() Config {
+	if p == nil {
+		return Config{}
+	}
+	return p.cfg
+}
+
+// Enabled reports whether this plan injects anything; false for nil.
+func (p *Plan) Enabled() bool { return p != nil && p.cfg.Enabled() }
+
+// Per-site salts keep the decision streams independent.
+const (
+	siteObservation = 0x6f627365 // "obse"
+	sitePushDrop    = 0x70647270 // "pdrp"
+	sitePushDelay   = 0x70646c79 // "pdly"
+	siteStall       = 0x73746c6c // "stll"
+	siteBrownout    = 0x62726f77 // "brow"
+	siteSpike       = 0x73706b65 // "spke"
+	siteRemapAt     = 0x726d6174 // "rmat"
+	siteRemapPick   = 0x726d706b // "rmpk"
+)
+
+// mix is the splitmix64 finalizer over (seed, site, n): a cheap,
+// high-quality hash whose output decides one fault event.
+func mix(seed, site, n uint64) uint64 {
+	z := seed ^ site*0x9e3779b97f4a7c15 ^ n*0xbf58476d1ce4e5b9
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p *Plan) hit(site, n uint64, per10k int) bool {
+	if per10k <= 0 {
+		return false
+	}
+	return mix(p.cfg.Seed, site, n)%10000 < uint64(per10k)
+}
+
+// DropObservation decides whether the n-th queue-2 observation is
+// lost before the ULMT sees it.
+func (p *Plan) DropObservation(n uint64) bool {
+	return p != nil && p.hit(siteObservation, n, p.cfg.DropObservationPer10k)
+}
+
+// DropPush decides whether the n-th generated prefetch is lost before
+// queue 3.
+func (p *Plan) DropPush(n uint64) bool {
+	return p != nil && p.hit(sitePushDrop, n, p.cfg.DropPushPer10k)
+}
+
+// PushDelay returns how long the n-th generated prefetch is held back
+// before entering queue 3 (0 = not delayed).
+func (p *Plan) PushDelay(n uint64) sim.Cycle {
+	if p == nil || !p.hit(sitePushDelay, n, p.cfg.DelayPushPer10k) {
+		return 0
+	}
+	return 1 + sim.Cycle(mix(p.cfg.Seed, sitePushDelay+1, n)%uint64(p.cfg.MaxPushDelay))
+}
+
+// SessionStall returns the preemption window appended to the n-th
+// ULMT processing session (0 = no stall).
+func (p *Plan) SessionStall(n uint64) sim.Cycle {
+	if p == nil || !p.hit(siteStall, n, p.cfg.StallPer10k) {
+		return 0
+	}
+	return 1 + sim.Cycle(mix(p.cfg.Seed, siteStall+1, n)%uint64(p.cfg.MaxStall))
+}
+
+// BusStretch returns the (possibly lengthened) duration of a bus
+// transfer starting at now. Outside brownout windows it returns dur
+// unchanged.
+func (p *Plan) BusStretch(now, dur sim.Cycle) sim.Cycle {
+	if p == nil || p.cfg.BrownoutPeriod <= 0 {
+		return dur
+	}
+	if (now+p.brownoutPhase)%p.cfg.BrownoutPeriod < p.cfg.BrownoutLen {
+		return dur * sim.Cycle(p.cfg.BrownoutFactor)
+	}
+	return dur
+}
+
+// BankPenalty returns the extra cycles a DRAM bank stays busy for an
+// access starting at now (0 outside spike windows).
+func (p *Plan) BankPenalty(now sim.Cycle) sim.Cycle {
+	if p == nil || p.cfg.SpikePeriod <= 0 {
+		return 0
+	}
+	if (now+p.spikePhase)%p.cfg.SpikePeriod < p.cfg.SpikeLen {
+		return p.cfg.SpikeExtra
+	}
+	return 0
+}
+
+// Remap is one scheduled OS page re-mapping: at cycle At, the page of
+// a workload address selected by Pick moves to a fresh frame.
+type Remap struct {
+	At   sim.Cycle
+	Pick uint64
+}
+
+// RemapSchedule returns the plan's page re-mapping events in time
+// order.
+func (p *Plan) RemapSchedule() []Remap {
+	if p == nil || p.cfg.Remaps <= 0 {
+		return nil
+	}
+	evs := make([]Remap, p.cfg.Remaps)
+	for i := range evs {
+		n := uint64(i)
+		evs[i] = Remap{
+			At:   1 + sim.Cycle(mix(p.cfg.Seed, siteRemapAt, n)%uint64(p.cfg.RemapSpan)),
+			Pick: mix(p.cfg.Seed, siteRemapPick, n),
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// Injected counts the faults a run actually injected, for reports and
+// for asserting that a chaos schedule really exercised the system.
+type Injected struct {
+	// ObservationsDropped counts queue-2 observations lost to
+	// injected faults (distinct from natural queue-2 overflow drops).
+	ObservationsDropped uint64
+	// PushesDropped and PushesDelayed count queue-3-bound prefetches
+	// lost or held back by injected faults.
+	PushesDropped uint64
+	PushesDelayed uint64
+	// Stalls counts ULMT preemption windows; StallCycles their total
+	// length.
+	Stalls      uint64
+	StallCycles sim.Cycle
+	// BusSlowTransfers counts transfers lengthened by brownouts;
+	// BusSlowCycles the total added occupancy.
+	BusSlowTransfers uint64
+	BusSlowCycles    sim.Cycle
+	// BankPenalties counts DRAM accesses hit by contention spikes;
+	// BankPenaltyCycles the total extra bank-busy time.
+	BankPenalties     uint64
+	BankPenaltyCycles sim.Cycle
+	// RemapsScheduled counts OS page re-mapping events injected.
+	RemapsScheduled uint64
+}
+
+// Total sums every injected fault event.
+func (i Injected) Total() uint64 {
+	return i.ObservationsDropped + i.PushesDropped + i.PushesDelayed +
+		i.Stalls + i.BusSlowTransfers + i.BankPenalties + i.RemapsScheduled
+}
+
+// Light returns a mild preset: occasional drops and stalls, no
+// bandwidth faults.
+func Light(seed uint64) *Plan {
+	p, err := NewPlan(Config{
+		Seed:                  seed,
+		DropObservationPer10k: 100,
+		DropPushPer10k:        100,
+		DelayPushPer10k:       100,
+		MaxPushDelay:          500,
+		StallPer10k:           100,
+		MaxStall:              2000,
+	})
+	if err != nil {
+		panic(err) // preset is statically valid
+	}
+	return p
+}
+
+// Heavy returns an aggressive preset exercising every fault class:
+// lossy observation and push paths, long preemptions, periodic bus
+// brownouts, DRAM contention spikes and OS page remaps.
+func Heavy(seed uint64) *Plan {
+	p, err := NewPlan(Config{
+		Seed:                  seed,
+		DropObservationPer10k: 2000,
+		DropPushPer10k:        2000,
+		DelayPushPer10k:       2000,
+		MaxPushDelay:          5000,
+		StallPer10k:           2500,
+		MaxStall:              20000,
+		BrownoutPeriod:        50000,
+		BrownoutLen:           10000,
+		BrownoutFactor:        4,
+		SpikePeriod:           30000,
+		SpikeLen:              6000,
+		SpikeExtra:            200,
+		Remaps:                8,
+		RemapSpan:             2_000_000,
+	})
+	if err != nil {
+		panic(err) // preset is statically valid
+	}
+	return p
+}
+
+// ParseSpec builds a plan from a -faults flag value: "off" (nil
+// plan), "light", "heavy", or a comma-separated key=value list over
+// the Config fields, e.g.
+//
+//	drop-obs=500,drop-push=500,delay-push=500,max-delay=1000,
+//	stall=1000,max-stall=5000,brownout=50000/10000/4,
+//	spike=30000/6000/200,remaps=4,remap-span=1000000
+func ParseSpec(spec string, seed uint64) (*Plan, error) {
+	switch strings.TrimSpace(spec) {
+	case "", "off", "none":
+		return nil, nil
+	case "light":
+		return Light(seed), nil
+	case "heavy":
+		return Heavy(seed), nil
+	}
+	c := Config{Seed: seed}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad spec element %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "drop-obs":
+			c.DropObservationPer10k, err = atoi(v)
+		case "drop-push":
+			c.DropPushPer10k, err = atoi(v)
+		case "delay-push":
+			c.DelayPushPer10k, err = atoi(v)
+		case "max-delay":
+			c.MaxPushDelay, err = cyc(v)
+		case "stall":
+			c.StallPer10k, err = atoi(v)
+		case "max-stall":
+			c.MaxStall, err = cyc(v)
+		case "brownout":
+			c.BrownoutPeriod, c.BrownoutLen, c.BrownoutFactor, err = window(v)
+		case "spike":
+			var extra int
+			c.SpikePeriod, c.SpikeLen, extra, err = window(v)
+			c.SpikeExtra = sim.Cycle(extra)
+		case "remaps":
+			c.Remaps, err = atoi(v)
+		case "remap-span":
+			c.RemapSpan, err = cyc(v)
+		default:
+			return nil, fmt.Errorf("fault: unknown spec key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad value for %s: %v", k, err)
+		}
+	}
+	return NewPlan(c)
+}
+
+func atoi(s string) (int, error) { return strconv.Atoi(s) }
+
+func cyc(s string) (sim.Cycle, error) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	return sim.Cycle(n), err
+}
+
+// window parses "period/len/amount" triples.
+func window(s string) (period, length sim.Cycle, amount int, err error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("want period/len/amount, got %q", s)
+	}
+	if period, err = cyc(parts[0]); err != nil {
+		return
+	}
+	if length, err = cyc(parts[1]); err != nil {
+		return
+	}
+	amount, err = atoi(parts[2])
+	return
+}

@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"ulmt/internal/sim"
+)
+
+func TestNilPlanIsSafeNoOp(t *testing.T) {
+	var p *Plan
+	if p.Enabled() {
+		t.Error("nil plan reports enabled")
+	}
+	if p.DropObservation(0) || p.DropPush(0) {
+		t.Error("nil plan drops")
+	}
+	if p.PushDelay(0) != 0 || p.SessionStall(0) != 0 {
+		t.Error("nil plan delays")
+	}
+	if p.BusStretch(100, 32) != 32 {
+		t.Error("nil plan stretches bus transfers")
+	}
+	if p.BankPenalty(100) != 0 {
+		t.Error("nil plan penalizes banks")
+	}
+	if p.RemapSchedule() != nil {
+		t.Error("nil plan schedules remaps")
+	}
+	if p.Config() != (Config{}) {
+		t.Error("nil plan has a non-zero config")
+	}
+}
+
+func TestDecisionsAreDeterministicPerSeed(t *testing.T) {
+	a := Heavy(42)
+	b := Heavy(42)
+	c := Heavy(43)
+	sameAsA := func(p *Plan) bool {
+		for n := uint64(0); n < 2000; n++ {
+			if a.DropObservation(n) != p.DropObservation(n) ||
+				a.DropPush(n) != p.DropPush(n) ||
+				a.PushDelay(n) != p.PushDelay(n) ||
+				a.SessionStall(n) != p.SessionStall(n) {
+				return false
+			}
+		}
+		for now := sim.Cycle(0); now < 200000; now += 997 {
+			if a.BusStretch(now, 32) != p.BusStretch(now, 32) ||
+				a.BankPenalty(now) != p.BankPenalty(now) {
+				return false
+			}
+		}
+		return reflect.DeepEqual(a.RemapSchedule(), p.RemapSchedule())
+	}
+	if !sameAsA(b) {
+		t.Error("same seed produced different decision streams")
+	}
+	if sameAsA(c) {
+		t.Error("different seeds produced identical decision streams")
+	}
+}
+
+func TestRatesAreRoughlyHonored(t *testing.T) {
+	p, err := NewPlan(Config{Seed: 9, DropPushPer10k: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	hits := 0
+	for i := uint64(0); i < n; i++ {
+		if p.DropPush(i) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("drop rate %.3f, want ~0.25", got)
+	}
+}
+
+func TestSiteStreamsAreIndependent(t *testing.T) {
+	p := Heavy(7)
+	same := 0
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		if p.DropObservation(i) == p.DropPush(i) {
+			same++
+		}
+	}
+	// Both sites fire at 20%; independent streams agree ~68% of the
+	// time ((0.2)(0.2)+(0.8)(0.8)), identical streams 100%.
+	if same == n {
+		t.Error("observation and push decision streams are identical")
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	p := Heavy(11)
+	cfg := p.Config()
+	for i := uint64(0); i < 5000; i++ {
+		if d := p.PushDelay(i); d < 0 || d > cfg.MaxPushDelay {
+			t.Fatalf("push delay %d outside (0,%d]", d, cfg.MaxPushDelay)
+		}
+		if st := p.SessionStall(i); st < 0 || st > cfg.MaxStall {
+			t.Fatalf("stall %d outside (0,%d]", st, cfg.MaxStall)
+		}
+	}
+	sawStretch := false
+	for now := sim.Cycle(0); now < cfg.BrownoutPeriod*3; now += 17 {
+		d := p.BusStretch(now, 32)
+		if d != 32 && d != 32*sim.Cycle(cfg.BrownoutFactor) {
+			t.Fatalf("stretch %d is neither nominal nor factored", d)
+		}
+		if d != 32 {
+			sawStretch = true
+		}
+	}
+	if !sawStretch {
+		t.Error("heavy plan never opened a brownout window")
+	}
+}
+
+func TestRemapScheduleSortedAndBounded(t *testing.T) {
+	p := Heavy(3)
+	evs := p.RemapSchedule()
+	if len(evs) != p.Config().Remaps {
+		t.Fatalf("got %d remaps, want %d", len(evs), p.Config().Remaps)
+	}
+	for i, ev := range evs {
+		if ev.At <= 0 || ev.At > p.Config().RemapSpan {
+			t.Errorf("remap %d at %d outside (0,%d]", i, ev.At, p.Config().RemapSpan)
+		}
+		if i > 0 && evs[i-1].At > ev.At {
+			t.Error("remap schedule not time-sorted")
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{DropPushPer10k: -1},
+		{DropObservationPer10k: 10001},
+		{DelayPushPer10k: 5}, // no MaxPushDelay
+		{StallPer10k: 5},     // no MaxStall
+		{BrownoutPeriod: 100, BrownoutLen: 200, BrownoutFactor: 2},
+		{BrownoutPeriod: 100, BrownoutLen: 10, BrownoutFactor: 1},
+		{SpikePeriod: 100, SpikeLen: 10}, // no SpikeExtra
+		{Remaps: -1},
+		{Remaps: 3}, // no RemapSpan
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated: %+v", i, c)
+		}
+		if _, err := NewPlan(c); err == nil {
+			t.Errorf("NewPlan accepted config %d", i)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	if p, err := ParseSpec("off", 1); err != nil || p != nil {
+		t.Errorf("off: plan=%v err=%v", p, err)
+	}
+	if p, err := ParseSpec("", 1); err != nil || p != nil {
+		t.Errorf("empty: plan=%v err=%v", p, err)
+	}
+	for _, name := range []string{"light", "heavy"} {
+		p, err := ParseSpec(name, 5)
+		if err != nil || !p.Enabled() {
+			t.Errorf("%s: enabled=%v err=%v", name, p.Enabled(), err)
+		}
+	}
+	p, err := ParseSpec("drop-push=500,delay-push=100,max-delay=1000,brownout=50000/10000/4,spike=30000/6000/200,remaps=4,remap-span=1000000", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed:            12,
+		DropPushPer10k:  500,
+		DelayPushPer10k: 100,
+		MaxPushDelay:    1000,
+		BrownoutPeriod:  50000, BrownoutLen: 10000, BrownoutFactor: 4,
+		SpikePeriod: 30000, SpikeLen: 6000, SpikeExtra: 200,
+		Remaps: 4, RemapSpan: 1000000,
+	}
+	if p.Config() != want {
+		t.Errorf("parsed %+v, want %+v", p.Config(), want)
+	}
+	for _, bad := range []string{"nope", "drop-push", "drop-push=x", "brownout=1/2", "stall=50"} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("spec %q parsed", bad)
+		}
+	}
+}
+
+func TestInjectedTotal(t *testing.T) {
+	i := Injected{ObservationsDropped: 1, PushesDropped: 2, PushesDelayed: 3,
+		Stalls: 4, BusSlowTransfers: 5, BankPenalties: 6, RemapsScheduled: 7}
+	if i.Total() != 28 {
+		t.Errorf("Total = %d, want 28", i.Total())
+	}
+}

@@ -1,0 +1,21 @@
+package memproc
+
+import "ulmt/internal/dram"
+
+// Test helpers: all constructions below use hardcoded-valid configs.
+
+func mustDRAM() *dram.DRAM {
+	d, err := dram.New(dram.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func mustNew(cfg Config, d *dram.DRAM) *MemProc {
+	mp, err := New(cfg, d)
+	if err != nil {
+		panic(err)
+	}
+	return mp
+}

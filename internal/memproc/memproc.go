@@ -114,12 +114,17 @@ type MemProc struct {
 	st    stats.ULMTStats
 }
 
-// New builds a memory processor over the shared DRAM.
-func New(cfg Config, d *dram.DRAM) *MemProc {
+// New builds a memory processor over the shared DRAM, or reports why
+// its cache configuration is invalid.
+func New(cfg Config, d *dram.DRAM) (*MemProc, error) {
 	if cfg.CyclesPerInstr <= 0 {
 		cfg.CyclesPerInstr = 1.0
 	}
-	return &MemProc{cfg: cfg, cache: cache.New(cfg.Cache), dram: d}
+	c, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	return &MemProc{cfg: cfg, cache: c, dram: d}, nil
 }
 
 // Config returns the timing configuration.

@@ -3,12 +3,11 @@ package memproc
 import (
 	"testing"
 
-	"ulmt/internal/dram"
 	"ulmt/internal/mem"
 )
 
 func newMP(loc Location) *MemProc {
-	return New(DefaultConfig(loc), dram.New(dram.DefaultConfig()))
+	return mustNew(DefaultConfig(loc), mustDRAM())
 }
 
 func TestInstrCharging(t *testing.T) {
@@ -23,7 +22,7 @@ func TestInstrCharging(t *testing.T) {
 func TestInstrFractionalAccumulation(t *testing.T) {
 	cfg := DefaultConfig(InDRAM)
 	cfg.CyclesPerInstr = 0.5
-	mp := New(cfg, dram.New(dram.DefaultConfig()))
+	mp := mustNew(cfg, mustDRAM())
 	s := mp.Begin(0)
 	s.Instr(1)
 	s.Instr(1)
@@ -142,8 +141,8 @@ func TestDropObservation(t *testing.T) {
 func TestSharedDRAMContention(t *testing.T) {
 	// The memproc and another agent share banks: a bank busy from
 	// the other agent delays the memproc's miss.
-	d := dram.New(dram.DefaultConfig())
-	mp := New(DefaultConfig(InDRAM), d)
+	d := mustDRAM()
+	mp := mustNew(DefaultConfig(InDRAM), d)
 	line := mem.Line(0x4000 >> 6)
 	d.Access(100, line) // other agent occupies the bank
 	s := mp.Begin(100)

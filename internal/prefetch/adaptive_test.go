@@ -8,7 +8,7 @@ import (
 )
 
 func newTestAdaptive() *Adaptive {
-	a := NewAdaptive(NewSeq(4, 6, 0), NewRepl(table.NewRepl(table.ReplParams(1<<10), 0)))
+	a := NewAdaptive(mustSeq(4, 6, 0), NewRepl(table.NewRepl(table.ReplParams(1<<10), 0)))
 	a.Window = 64 // fast decisions for tests
 	return a
 }

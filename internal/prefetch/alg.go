@@ -19,6 +19,8 @@
 package prefetch
 
 import (
+	"fmt"
+
 	"ulmt/internal/mem"
 	"ulmt/internal/table"
 )
@@ -69,11 +71,11 @@ type Chain struct {
 }
 
 // NewChain wraps a Chain-parameterized table.
-func NewChain(t *table.BaseTable, numLevels int) *Chain {
+func NewChain(t *table.BaseTable, numLevels int) (*Chain, error) {
 	if numLevels < 1 {
-		panic("prefetch: Chain needs NumLevels >= 1")
+		return nil, fmt.Errorf("prefetch: Chain needs NumLevels >= 1, got %d", numLevels)
 	}
-	return &Chain{T: t, NumLevels: numLevels}
+	return &Chain{T: t, NumLevels: numLevels}, nil
 }
 
 // Name implements Algorithm.

@@ -35,7 +35,7 @@ func TestFig4Algorithms(t *testing.T) {
 	}
 
 	// Chain (NumLevels=2): prefetch d, b then follow d -> prefetch c.
-	chain := NewChain(table.NewBase(table.Params{NumRows: 8, Assoc: 2, NumSucc: 2, NumLevels: 2}, 0), 2)
+	chain := mustChain(table.NewBase(table.Params{NumRows: 8, Assoc: 2, NumSucc: 2, NumLevels: 2}, 0), 2)
 	learnSeq(chain, seq...)
 	if got := collect(chain, a); len(got) != 3 || got[0] != d || got[1] != b || got[2] != c {
 		t.Errorf("Chain prefetch = %v, want [d b c]", got)
@@ -50,7 +50,7 @@ func TestFig4Algorithms(t *testing.T) {
 }
 
 func TestChainStopsOnUnknownRow(t *testing.T) {
-	chain := NewChain(table.NewBase(table.ChainParams(64), 0), 3)
+	chain := mustChain(table.NewBase(table.ChainParams(64), 0), 3)
 	learnSeq(chain, 1, 2) // successors(2) unknown
 	got := collect(chain, 1)
 	if len(got) != 1 || got[0] != 2 {
@@ -62,7 +62,7 @@ func TestChainStopsOnUnknownRow(t *testing.T) {
 }
 
 func TestCombined(t *testing.T) {
-	seqAlg := NewSeq(1, 2, 0)
+	seqAlg := mustSeq(1, 2, 0)
 	repl := NewRepl(table.NewRepl(table.ReplParams(64), 0))
 	comb := &Combined{First: seqAlg, Second: repl}
 	if comb.Name() != "Seq1+Repl" {
@@ -113,7 +113,7 @@ func TestFuncAdapter(t *testing.T) {
 }
 
 func TestSeqDetectsUpStream(t *testing.T) {
-	q := NewSeq(4, 6, 0)
+	q := mustSeq(4, 6, 0)
 	var got []mem.Line
 	for i := 0; i < 6; i++ {
 		m := mem.Line(100 + i)
@@ -132,7 +132,7 @@ func TestSeqDetectsUpStream(t *testing.T) {
 }
 
 func TestSeqDetectsDownStream(t *testing.T) {
-	q := NewSeq(2, 4, 0)
+	q := mustSeq(2, 4, 0)
 	var got []mem.Line
 	for i := 0; i < 6; i++ {
 		m := mem.Line(1000 - i)
@@ -150,7 +150,7 @@ func TestSeqDetectsDownStream(t *testing.T) {
 }
 
 func TestSeqIgnoresRandom(t *testing.T) {
-	q := NewSeq(4, 6, 0)
+	q := mustSeq(4, 6, 0)
 	var got []mem.Line
 	for _, m := range []mem.Line{5, 900, 17, 3000, 211, 4096, 77} {
 		q.Prefetch(m, nullSink, func(l mem.Line) { got = append(got, l) })
@@ -162,7 +162,7 @@ func TestSeqIgnoresRandom(t *testing.T) {
 }
 
 func TestSeqMultipleStreams(t *testing.T) {
-	q := NewSeq(4, 6, 0)
+	q := mustSeq(4, 6, 0)
 	emitted := 0
 	// Interleave four ascending streams.
 	bases := []mem.Line{1000, 5000, 9000, 13000}
@@ -188,7 +188,7 @@ func TestSeqMultipleStreams(t *testing.T) {
 }
 
 func TestSeqNames(t *testing.T) {
-	if NewSeq(1, 6, 0).Name() != "Seq1" || NewSeq(4, 6, 0).Name() != "Seq4" || NewSeq(2, 6, 0).Name() != "Seq" {
+	if mustSeq(1, 6, 0).Name() != "Seq1" || mustSeq(4, 6, 0).Name() != "Seq4" || mustSeq(2, 6, 0).Name() != "Seq" {
 		t.Error("names wrong")
 	}
 }

@@ -1,6 +1,10 @@
 package prefetch
 
-import "ulmt/internal/mem"
+import (
+	"fmt"
+
+	"ulmt/internal/mem"
+)
 
 // Conven is the conventional processor-side hardware prefetcher of §4
 // ("Processor-Side Prefetching"): it monitors L1 cache misses,
@@ -26,9 +30,10 @@ type Conven struct {
 
 // NewConven builds the Table 4 Conven4 prefetcher when called with
 // (4, 6).
-func NewConven(numSeq, numPref int) *Conven {
+func NewConven(numSeq, numPref int) (*Conven, error) {
 	if numSeq < 1 || numPref < 1 {
-		panic("prefetch: Conven needs NumSeq, NumPref >= 1")
+		return nil, fmt.Errorf("prefetch: Conven needs NumSeq, NumPref >= 1, got (%d, %d)",
+			numSeq, numPref)
 	}
 	return &Conven{
 		NumSeq:   numSeq,
@@ -36,7 +41,7 @@ func NewConven(numSeq, numPref int) *Conven {
 		streams:  make([]streamReg, numSeq),
 		candUp:   make(map[mem.Line]int),
 		candDown: make(map[mem.Line]int),
-	}
+	}, nil
 }
 
 // Name identifies the configuration, e.g. "Conven4".

@@ -7,7 +7,7 @@ import (
 )
 
 func TestConvenThirdMissTriggers(t *testing.T) {
-	c := NewConven(4, 6)
+	c := mustConven(4, 6)
 	if got := c.OnMiss(100); got != nil {
 		t.Errorf("first miss prefetched %v", got)
 	}
@@ -29,7 +29,7 @@ func TestConvenThirdMissTriggers(t *testing.T) {
 }
 
 func TestConvenRegisterAdvance(t *testing.T) {
-	c := NewConven(1, 6)
+	c := mustConven(1, 6)
 	c.OnMiss(100)
 	c.OnMiss(101)
 	c.OnMiss(102) // stream allocated, expected = 103
@@ -46,7 +46,7 @@ func TestConvenRegisterAdvance(t *testing.T) {
 }
 
 func TestConvenDownStream(t *testing.T) {
-	c := NewConven(2, 4)
+	c := mustConven(2, 4)
 	c.OnMiss(500)
 	c.OnMiss(499)
 	got := c.OnMiss(498)
@@ -56,7 +56,7 @@ func TestConvenDownStream(t *testing.T) {
 }
 
 func TestConvenInterleavedStreams(t *testing.T) {
-	c := NewConven(4, 6)
+	c := mustConven(4, 6)
 	total := 0
 	for i := 0; i < 6; i++ {
 		for _, b := range []mem.Line{1000, 2000, 3000, 4000} {
@@ -69,7 +69,7 @@ func TestConvenInterleavedStreams(t *testing.T) {
 }
 
 func TestConvenLRUStreamReplacement(t *testing.T) {
-	c := NewConven(1, 2) // one register only
+	c := mustConven(1, 2) // one register only
 	c.OnMiss(100)
 	c.OnMiss(101)
 	c.OnMiss(102) // stream A
@@ -86,7 +86,7 @@ func TestConvenLRUStreamReplacement(t *testing.T) {
 }
 
 func TestConvenRandomSilent(t *testing.T) {
-	c := NewConven(4, 6)
+	c := mustConven(4, 6)
 	for _, m := range []mem.Line{3, 999, 40, 77777, 1234, 87, 4000} {
 		if got := c.OnMiss(m); len(got) != 0 {
 			t.Fatalf("random miss %v prefetched %v", m, got)
@@ -95,7 +95,7 @@ func TestConvenRandomSilent(t *testing.T) {
 }
 
 func TestConvenName(t *testing.T) {
-	if NewConven(4, 6).Name() != "Conven4" || NewConven(2, 6).Name() != "Conven" {
+	if mustConven(4, 6).Name() != "Conven4" || mustConven(2, 6).Name() != "Conven" {
 		t.Error("names wrong")
 	}
 }

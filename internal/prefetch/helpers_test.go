@@ -1,0 +1,32 @@
+package prefetch
+
+import (
+	"ulmt/internal/mem"
+	"ulmt/internal/table"
+)
+
+// Test helpers: all constructions below use hardcoded-valid parameters.
+
+func mustSeq(numSeq, numPref int, stateBase mem.Addr) *Seq {
+	q, err := NewSeq(numSeq, numPref, stateBase)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func mustConven(numSeq, numPref int) *Conven {
+	c, err := NewConven(numSeq, numPref)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustChain(t *table.BaseTable, numLevels int) *Chain {
+	c, err := NewChain(t, numLevels)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -130,7 +130,12 @@ func NewReplPredictor(p table.Params) Predictor {
 // when "the upcoming miss address matches the next address predicted
 // by one of the streams identified" (§5.1).
 func NewSeqPredictor(numSeq, levels int) Predictor {
-	q := NewSeq(numSeq, 6, 0)
+	q, err := NewSeq(numSeq, 6, 0)
+	if err != nil {
+		// Predictors are offline analysis tooling; constructing one
+		// with a nonsensical stream count is a programming error.
+		panic(err)
+	}
 	var sink table.NullSink
 	discard := func(mem.Line) {}
 	return newTracked(q.Name(), levels,

@@ -1,6 +1,8 @@
 package prefetch
 
 import (
+	"fmt"
+
 	"ulmt/internal/mem"
 	"ulmt/internal/table"
 )
@@ -41,9 +43,10 @@ type streamReg struct {
 
 // NewSeq builds a sequential ULMT algorithm with NumSeq streams
 // prefetching NumPref lines ahead.
-func NewSeq(numSeq, numPref int, stateBase mem.Addr) *Seq {
+func NewSeq(numSeq, numPref int, stateBase mem.Addr) (*Seq, error) {
 	if numSeq < 1 || numPref < 1 {
-		panic("prefetch: Seq needs NumSeq, NumPref >= 1")
+		return nil, fmt.Errorf("prefetch: Seq needs NumSeq, NumPref >= 1, got (%d, %d)",
+			numSeq, numPref)
 	}
 	return &Seq{
 		NumSeq:    numSeq,
@@ -52,7 +55,7 @@ func NewSeq(numSeq, numPref int, stateBase mem.Addr) *Seq {
 		candUp:    make(map[mem.Line]int),
 		candDown:  make(map[mem.Line]int),
 		StateBase: stateBase,
-	}
+	}, nil
 }
 
 // Name implements Algorithm.

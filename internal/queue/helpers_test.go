@@ -1,0 +1,19 @@
+package queue
+
+// mustNew builds a queue with a known-good capacity for tests.
+func mustNew(name string, capacity int) *Queue {
+	q, err := New(name, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// mustFilter builds a filter with a known-good capacity for tests.
+func mustFilter(capacity int) *Filter {
+	f, err := NewFilter(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

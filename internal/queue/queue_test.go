@@ -8,7 +8,7 @@ import (
 )
 
 func TestQueueFIFO(t *testing.T) {
-	q := New("t", 4)
+	q := mustNew("t", 4)
 	for i := 1; i <= 3; i++ {
 		if !q.Push(Entry{Line: mem.Line(i)}) {
 			t.Fatalf("push %d failed", i)
@@ -35,7 +35,7 @@ func TestQueueFIFO(t *testing.T) {
 }
 
 func TestQueueOverflowDrops(t *testing.T) {
-	q := New("t", 2)
+	q := mustNew("t", 2)
 	q.Push(Entry{Line: 1})
 	q.Push(Entry{Line: 2})
 	if q.Push(Entry{Line: 3}) {
@@ -47,7 +47,7 @@ func TestQueueOverflowDrops(t *testing.T) {
 }
 
 func TestQueueContainsRemove(t *testing.T) {
-	q := New("t", 8)
+	q := mustNew("t", 8)
 	q.Push(Entry{Line: 10})
 	q.Push(Entry{Line: 20})
 	q.Push(Entry{Line: 10})
@@ -71,17 +71,20 @@ func TestQueueContainsRemove(t *testing.T) {
 	}
 }
 
-func TestQueueZeroCapacityPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("capacity 0 should panic")
-		}
-	}()
-	New("t", 0)
+func TestQueueZeroCapacityErrors(t *testing.T) {
+	if _, err := New("t", 0); err == nil {
+		t.Error("capacity 0 should return an error")
+	}
+	if _, err := New("t", -3); err == nil {
+		t.Error("negative capacity should return an error")
+	}
+	if _, err := NewFilter(-1); err == nil {
+		t.Error("negative filter capacity should return an error")
+	}
 }
 
 func TestFilterSemantics(t *testing.T) {
-	f := NewFilter(2)
+	f := mustFilter(2)
 	if !f.Admit(1) {
 		t.Error("first admit should pass")
 	}
@@ -106,7 +109,7 @@ func TestFilterSemantics(t *testing.T) {
 func TestFilterUnmodifiedOnDrop(t *testing.T) {
 	// The paper: on a hit "the request is dropped and the list is
 	// left unmodified" — so the entry does NOT move to the tail.
-	f := NewFilter(2)
+	f := mustFilter(2)
 	f.Admit(1)
 	f.Admit(2)
 	f.Admit(1) // dropped; list must still be [1 2], not [2 1]
@@ -120,7 +123,7 @@ func TestFilterUnmodifiedOnDrop(t *testing.T) {
 }
 
 func TestFilterDisabled(t *testing.T) {
-	f := NewFilter(0)
+	f := mustFilter(0)
 	for i := 0; i < 10; i++ {
 		if !f.Admit(7) {
 			t.Fatal("disabled filter must admit everything")
@@ -133,7 +136,7 @@ func TestFilterDisabled(t *testing.T) {
 
 func TestFilterNeverExceedsCapProperty(t *testing.T) {
 	f := func(lines []uint8) bool {
-		fl := NewFilter(32)
+		fl := mustFilter(32)
 		for _, l := range lines {
 			fl.Admit(mem.Line(l))
 			if fl.Len() > 32 {
@@ -149,7 +152,7 @@ func TestFilterNeverExceedsCapProperty(t *testing.T) {
 
 func TestQueueLenBoundedProperty(t *testing.T) {
 	f := func(ops []bool) bool {
-		q := New("p", 5)
+		q := mustNew("p", 5)
 		for _, push := range ops {
 			if push {
 				q.Push(Entry{Line: 1})

@@ -227,8 +227,11 @@ func (t *ReplTable) Relocate(oldLine, newLine mem.Line, s Sink) bool {
 		return false
 	}
 	row := t.sets[set][way]
-	// Remove from old location, reinstall under the new tag.
-	t.sets[set][way] = replRow{levels: t.sets[set][way].levels[:0:0]}
+	// Remove from old location, reinstall under the new tag. The
+	// vacated slot must have nil levels: findOrAlloc only sizes the
+	// per-level slices for a nil slice, and a non-nil empty one would
+	// make the next Learn of this slot index out of range.
+	t.sets[set][way] = replRow{}
 	nset, nway := t.findOrAlloc(newLine, s)
 	dst := &t.sets[nset][nway]
 	dst.levels = row.levels

@@ -319,3 +319,26 @@ func TestSuccessorsAreObservedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRelocatedSlotIsReusable(t *testing.T) {
+	// Relocate vacates a table slot; the vacated slot must come back
+	// from findOrAlloc with properly sized per-level lists, or the
+	// next Learn through a last-miss pointer into it panics.
+	// Two sets, so the row moves to the *other* set and leaves a
+	// vacated slot behind (with one set the move reuses the slot it
+	// just emptied and the state never surfaces).
+	tr := NewRepl(Params{NumRows: 4, Assoc: 2, NumSucc: 2, NumLevels: 2}, 0)
+	var sink NullSink
+	tr.Learn(10, sink)
+	if !tr.Relocate(10, 21, sink) {
+		t.Fatal("Relocate found no row for a learned line")
+	}
+	// The vacated set-0 slot is reused by the next allocation; the
+	// following Learn inserts a successor into the reused row via
+	// the last-miss pointers.
+	tr.Learn(12, sink)
+	tr.Learn(14, sink)
+	if succ := tr.Levels(12, sink); len(succ) == 0 || len(succ[0]) == 0 || succ[0][0] != 14 {
+		t.Fatalf("reused slot did not learn successors: %v", succ)
+	}
+}

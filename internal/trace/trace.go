@@ -31,8 +31,16 @@ type Config struct {
 // returns, in order, the physical L2 line address of every demand
 // miss that would go to memory.
 func L2Misses(ops []workload.Op, cfg Config) []mem.Line {
-	l1 := cache.New(cfg.L1)
-	l2 := cache.New(cfg.L2)
+	l1, err := cache.New(cfg.L1)
+	if err != nil {
+		// Trace extraction is always driven by already-validated
+		// machine configs; a bad geometry here is a programming error.
+		panic(err)
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		panic(err)
+	}
 	mapper := mem.NewPageMapper(cfg.LinearPages, cfg.Seed)
 	var out []mem.Line
 	for i := range ops {

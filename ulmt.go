@@ -32,8 +32,12 @@
 //	cfg := ulmt.DefaultConfig()
 //	cfg.ULMT = ulmt.NewReplAlgorithm(1<<16, 3)
 //	app, _ := ulmt.WorkloadByName("Mcf")
-//	res := ulmt.NewSystem(cfg).Run("Mcf", app.Generate(ulmt.ScaleSmall))
-//	base := ulmt.NewSystem(ulmt.DefaultConfig()).Run("Mcf", app.Generate(ulmt.ScaleSmall))
+//	sys, err := ulmt.NewSystem(cfg)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	res := sys.Run("Mcf", app.Generate(ulmt.ScaleSmall))
+//	base := ulmt.MustSystem(ulmt.DefaultConfig()).Run("Mcf", app.Generate(ulmt.ScaleSmall))
 //	fmt.Printf("speedup %.2f\n", res.Speedup(base))
 //
 // See examples/ for runnable programs and cmd/ulmtsim for the full
@@ -42,6 +46,7 @@ package ulmt
 
 import (
 	"ulmt/internal/core"
+	"ulmt/internal/fault"
 	"ulmt/internal/mem"
 	"ulmt/internal/memproc"
 	"ulmt/internal/prefetch"
@@ -122,9 +127,20 @@ func NorthBridgeConfig() Config {
 	return cfg
 }
 
-// NewSystem assembles a machine. Each System runs one op stream;
-// build a fresh one (and fresh Algorithm instances) per run.
-func NewSystem(cfg Config) *System { return core.NewSystem(cfg) }
+// NewSystem assembles a machine, or reports the first configuration
+// error. Each System runs one op stream; build a fresh one (and fresh
+// Algorithm instances) per run.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// MustSystem is NewSystem for configurations known to be valid (e.g.
+// DefaultConfig variants); it panics on error.
+func MustSystem(cfg Config) *System {
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
 
 // Workloads returns the nine applications in the paper's Table 2
 // order.
@@ -145,8 +161,9 @@ func NewBaseAlgorithm(numRows int) Algorithm {
 }
 
 // NewChainAlgorithm returns the Chain algorithm (NumSucc=2, Assoc=2)
-// prefetching numLevels levels of successors.
-func NewChainAlgorithm(numRows, numLevels int) Algorithm {
+// prefetching numLevels levels of successors, or an error for a
+// nonsensical level count.
+func NewChainAlgorithm(numRows, numLevels int) (Algorithm, error) {
 	p := table.ChainParams(numRows)
 	p.NumLevels = numLevels
 	return prefetch.NewChain(table.NewBase(p, TableBase), numLevels)
@@ -163,8 +180,8 @@ func NewReplAlgorithm(numRows, numLevels int) Algorithm {
 
 // NewSeqAlgorithm returns software sequential prefetching as a ULMT
 // algorithm: numSeq concurrent ±1 streams, each prefetching numPref
-// lines ahead (the paper's Seq1 and Seq4).
-func NewSeqAlgorithm(numSeq, numPref int) Algorithm {
+// lines ahead (the paper's Seq1 and Seq4). Both counts must be >= 1.
+func NewSeqAlgorithm(numSeq, numPref int) (Algorithm, error) {
 	return prefetch.NewSeq(numSeq, numPref, TableBase-4096)
 }
 
@@ -185,9 +202,11 @@ func NewAdaptiveAlgorithm(seq, pair Algorithm) Algorithm {
 }
 
 // NewConven returns the conventional processor-side hardware
-// prefetcher (the paper's Conven4 when called with 4, 6). Assign it
-// to Config.Conven.
-func NewConven(numSeq, numPref int) *Conven { return prefetch.NewConven(numSeq, numPref) }
+// prefetcher (the paper's Conven4 when called with 4, 6), or an error
+// for nonsensical stream/depth counts. Assign it to Config.Conven.
+func NewConven(numSeq, numPref int) (*Conven, error) {
+	return prefetch.NewConven(numSeq, numPref)
+}
 
 // Active prefetching (paper Fig 1-(c)): the memory thread executes
 // an abridged address-generating program ahead of the processor
@@ -206,6 +225,39 @@ type (
 // same paging the run will use (cfg.LinearPages, cfg.Seed).
 func BuildSlice(ops []Op, cfg Config) *Slice {
 	return core.BuildSlice(ops, cfg.LinearPages, cfg.Seed, cfg.L2.Line)
+}
+
+// Fault injection (DESIGN.md "Fault model and degradation
+// guarantees"): a deterministic, seed-driven schedule of dropped
+// observations and pushes, ULMT preemptions, bus brownouts, DRAM
+// contention spikes and OS page remaps. Assign a plan to
+// Config.Faults; faults degrade timing and prefetch coverage but
+// never demand-miss semantics.
+type (
+	// FaultConfig declares fault rates and windows; the zero value
+	// injects nothing.
+	FaultConfig = fault.Config
+	// FaultPlan is a compiled, immutable fault schedule; nil = none.
+	FaultPlan = fault.Plan
+	// FaultsInjected counts the faults a run actually injected
+	// (Results.Faults).
+	FaultsInjected = fault.Injected
+)
+
+// NewFaultPlan validates a fault configuration and compiles a plan.
+func NewFaultPlan(c FaultConfig) (*FaultPlan, error) { return fault.NewPlan(c) }
+
+// LightFaults and HeavyFaults are the built-in fault presets.
+func LightFaults(seed uint64) *FaultPlan { return fault.Light(seed) }
+
+// HeavyFaults exercises every fault class aggressively.
+func HeavyFaults(seed uint64) *FaultPlan { return fault.Heavy(seed) }
+
+// ParseFaultSpec builds a plan from a -faults style spec string:
+// "off", "light", "heavy", or comma-separated key=value pairs (see
+// internal/fault.ParseSpec for the keys).
+func ParseFaultSpec(spec string, seed uint64) (*FaultPlan, error) {
+	return fault.ParseSpec(spec, seed)
 }
 
 // Multiprogramming (paper §3.4): several applications time-share the

@@ -12,7 +12,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	ops := app.Generate(ulmt.ScaleTiny)
-	base := ulmt.NewSystem(ulmt.DefaultConfig()).Run("Mcf", ops)
+	base := ulmt.MustSystem(ulmt.DefaultConfig()).Run("Mcf", ops)
 
 	rows := ulmt.SizeTableRows(ulmt.MissTrace(ops))
 	if rows <= 0 {
@@ -20,7 +20,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	}
 	cfg := ulmt.DefaultConfig()
 	cfg.ULMT = ulmt.NewReplAlgorithm(rows, 3)
-	r := ulmt.NewSystem(cfg).Run("Mcf", ops)
+	r := ulmt.MustSystem(cfg).Run("Mcf", ops)
 	if sp := r.Speedup(base); sp < 1.0 {
 		t.Errorf("Repl slowed Mcf: %.3f", sp)
 	}
@@ -41,10 +41,10 @@ func TestPublicWorkloadRegistry(t *testing.T) {
 func TestPublicAlgorithmConstructors(t *testing.T) {
 	algs := []ulmt.Algorithm{
 		ulmt.NewBaseAlgorithm(1 << 10),
-		ulmt.NewChainAlgorithm(1<<10, 3),
+		mustChainAlg(1<<10, 3),
 		ulmt.NewReplAlgorithm(1<<10, 3),
-		ulmt.NewSeqAlgorithm(4, 6),
-		ulmt.Combine(ulmt.NewSeqAlgorithm(1, 6), ulmt.NewReplAlgorithm(1<<10, 3)),
+		mustSeqAlg(4, 6),
+		ulmt.Combine(mustSeqAlg(1, 6), ulmt.NewReplAlgorithm(1<<10, 3)),
 	}
 	wantNames := []string{"Base", "Chain", "Repl", "Seq4", "Seq1+Repl"}
 	for i, a := range algs {
@@ -52,7 +52,7 @@ func TestPublicAlgorithmConstructors(t *testing.T) {
 			t.Errorf("alg %d name = %q, want %q", i, a.Name(), wantNames[i])
 		}
 	}
-	if ulmt.NewConven(4, 6).Name() != "Conven4" {
+	if mustConven(4, 6).Name() != "Conven4" {
 		t.Error("Conven name")
 	}
 }
@@ -92,7 +92,7 @@ func TestPublicCustomAlgorithm(t *testing.T) {
 	ops := app.Generate(ulmt.ScaleTiny)
 	cfg := ulmt.DefaultConfig()
 	cfg.ULMT = next
-	r := ulmt.NewSystem(cfg).Run("CG", ops)
+	r := ulmt.MustSystem(cfg).Run("CG", ops)
 	if r.PushesToL2 == 0 {
 		t.Fatal("custom algorithm pushed nothing")
 	}
@@ -109,7 +109,7 @@ func TestPublicBuilderWorkload(t *testing.T) {
 		b.Work(3)
 	}
 	ops := b.Ops()
-	r := ulmt.NewSystem(ulmt.DefaultConfig()).Run("custom", ops)
+	r := ulmt.MustSystem(ulmt.DefaultConfig()).Run("custom", ops)
 	if r.OpsRetired != uint64(len(ops)) {
 		t.Errorf("retired %d of %d", r.OpsRetired, len(ops))
 	}
