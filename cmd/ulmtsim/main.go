@@ -7,383 +7,138 @@
 //
 //	ulmtsim [-exp all|table1..table5|fig5..fig11|ablation|sweep|faults]
 //	        [-scale tiny|small|medium|large] [-apps CG,Mcf,...] [-seed N]
-//	        [-faults off|light|heavy|k=v,...] [-fault-seed N]
+//	        [-j N] [-faults off|light|heavy|k=v,...] [-fault-seed N]
 //
-// With -faults set, every simulated run injects the same
-// deterministic fault schedule (dropped observations, lost/delayed
-// pushes, ULMT preemptions, bus brownouts, DRAM contention spikes, OS
-// page remaps), so any table or figure can be regenerated under
-// degraded conditions; -exp faults prints what was injected.
+// The run matrix of the requested experiments is pre-planned and
+// executed on -j parallel workers (default: GOMAXPROCS) with live
+// progress on stderr; the rendered report is byte-identical at any
+// -j, including -j 1 (the serial path). With -faults set, every
+// simulated run injects the same deterministic fault schedule
+// (dropped observations, lost/delayed pushes, ULMT preemptions, bus
+// brownouts, DRAM contention spikes, OS page remaps), so any table or
+// figure can be regenerated under degraded conditions; -exp faults
+// prints what was injected.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
-	"ulmt/internal/core"
 	"ulmt/internal/experiment"
 	"ulmt/internal/fault"
-	"ulmt/internal/report"
 	"ulmt/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig5..fig11, faults)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig5..fig11, ablation, sweep, faults)")
 	scaleFlag := flag.String("scale", "small", "problem scale: tiny, small, medium, large")
 	appsFlag := flag.String("apps", "", "comma-separated application subset (default: all nine)")
 	seed := flag.Uint64("seed", 1, "page-mapping seed")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 	faultSpec := flag.String("faults", "off", "fault plan: off, light, heavy, or key=value list (see internal/fault)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault plan's pseudo-random schedule")
 	flag.Parse()
 
 	scale, err := workload.ParseScale(*scaleFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 	plan, err := fault.ParseSpec(*faultSpec, *faultSeed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
+	}
+	if *jobs < 1 {
+		fatal(fmt.Errorf("ulmtsim: -j must be >= 1, got %d", *jobs))
 	}
 	opt := experiment.Options{Scale: scale, Seed: *seed, Faults: plan}
 	if *appsFlag != "" {
-		opt.Apps = strings.Split(*appsFlag, ",")
-		for _, a := range opt.Apps {
-			if _, err := workload.ByName(a); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
+		for _, a := range strings.Split(*appsFlag, ",") {
+			opt.Apps = append(opt.Apps, strings.TrimSpace(a))
+		}
+	}
+	if err := opt.Validate(); err != nil {
+		fatal(err)
+	}
+
+	exps := []string{*exp}
+	if *exp == "all" {
+		exps = experiment.AllOrder
+	}
+	for _, e := range exps {
+		if !experiment.IsExperiment(e) {
+			fatal(fmt.Errorf("unknown experiment %q (have all, %s)",
+				e, strings.Join(experiment.Experiments(), ", ")))
 		}
 	}
 	r := experiment.NewRunner(opt)
 
-	runners := map[string]func(*experiment.Runner){
-		"table1": table1, "table2": table2, "table3": table3,
-		"table4": table4, "table5": table5,
-		"fig5": fig5, "fig6": fig6, "fig7": fig7, "fig8": fig8,
-		"fig9": fig9, "fig10": fig10, "fig11": fig11,
-		"ablation": ablation, "sweep": sweep, "faults": faults,
+	// Pre-plan the full run matrix and execute it on the worker pool;
+	// rendering below then only reads completed results. The report
+	// bytes are identical at any -j (see the equivalence suite).
+	keys := r.PlanRuns(exps)
+	if len(keys) > 0 {
+		p := newProgress(os.Stderr, len(keys))
+		r.ExecuteAll(keys, *jobs, p.update)
+		p.finish()
 	}
-	if *exp == "all" {
-		order := []string{"table3", "table4", "table2", "table1", "fig5", "fig6", "fig7", "table5", "fig8", "fig9", "fig10", "fig11", "ablation", "sweep"}
-		for _, name := range order {
-			runners[name](r)
+	for _, e := range exps {
+		if err := r.Render(os.Stdout, e); err != nil {
+			fatal(err)
 		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+// progress prints live run-matrix completion to stderr: runs done,
+// elapsed wall clock, and a simple rate-based ETA. Updates are
+// throttled and carriage-return overwritten so the report on stdout
+// stays clean.
+type progress struct {
+	mu    sync.Mutex
+	w     *os.File
+	start time.Time
+	last  time.Time
+	total int
+	wrote bool
+}
+
+func newProgress(w *os.File, total int) *progress {
+	return &progress{w: w, start: time.Now(), total: total}
+}
+
+// update is safe to call from many workers at once.
+func (p *progress) update(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if done < total && now.Sub(p.last) < 100*time.Millisecond {
 		return
 	}
-	fn, ok := runners[*exp]
-	if !ok {
-		keys := make([]string, 0, len(runners))
-		for k := range runners {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (have all, %s)\n", *exp, strings.Join(keys, ", "))
-		os.Exit(2)
+	p.last = now
+	elapsed := now.Sub(p.start).Round(100 * time.Millisecond)
+	line := fmt.Sprintf("\rruns %d/%d  elapsed %s", done, total, elapsed)
+	if done > 0 && done < total {
+		eta := time.Duration(float64(now.Sub(p.start)) / float64(done) * float64(total-done))
+		line += fmt.Sprintf("  eta %s", eta.Round(100*time.Millisecond))
 	}
-	fn(r)
+	fmt.Fprint(p.w, line)
+	p.wrote = true
 }
 
-func table1(r *experiment.Runner) {
-	t := report.Table{
-		Title:  "Table 1: pair-based correlation algorithms on a ULMT (measured)",
-		Header: []string{"Characteristic", "Base", "Chain", "Replicated"},
+// finish terminates the progress line so the report starts cleanly.
+func (p *progress) finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wrote {
+		fmt.Fprintln(p.w)
 	}
-	rows := r.Table1()
-	get := func(name string) experiment.Table1Row {
-		for _, x := range rows {
-			if x.Algorithm == name {
-				return x
-			}
-		}
-		return experiment.Table1Row{}
-	}
-	b, c, rp := get("Base"), get("Chain"), get("Replicated")
-	t.AddRow("Levels of successors prefetched", b.LevelsPrefetched, c.LevelsPrefetched, rp.LevelsPrefetched)
-	t.AddRow("True MRU ordering per level", yn(b.TrueMRU), yn(c.TrueMRU), yn(rp.TrueMRU))
-	t.AddRow("Row accesses, prefetch step (search)", report.F2(b.RowAccessesPrefetch), report.F2(c.RowAccessesPrefetch), report.F2(rp.RowAccessesPrefetch))
-	t.AddRow("Row updates, learning step (no search)", report.F2(b.RowAccessesLearn), report.F2(c.RowAccessesLearn), report.F2(rp.RowAccessesLearn))
-	t.AddRow("Bytes per row", b.RowBytes, c.RowBytes, rp.RowBytes)
-	t.Fprint(os.Stdout)
-}
-
-func yn(b bool) string {
-	if b {
-		return "Yes"
-	}
-	return "No"
-}
-
-func table2(r *experiment.Runner) {
-	t := report.Table{
-		Title:  "Table 2: correlation table sizing (<5% of insertions replace a row)",
-		Header: []string{"App", "L2Misses", "NumRows", "ReplRate", "Base(MB)", "Chain(MB)", "Repl(MB)"},
-	}
-	for _, row := range r.Table2() {
-		t.AddRow(row.App, row.Misses, row.NumRows, report.Pct(row.ReplaceRate),
-			row.BaseMB, row.ChainMB, row.ReplMB)
-	}
-	t.Fprint(os.Stdout)
-}
-
-func table3(r *experiment.Runner) {
-	cfg := core.DefaultConfig()
-	t := report.Table{
-		Title:  "Table 3: simulated architecture (1.6 GHz cycles)",
-		Header: []string{"Parameter", "Value"},
-	}
-	t.AddRow("Main processor", fmt.Sprintf("%d-issue, %d pending loads, %d pending stores", cfg.CPU.IssueWidth, cfg.CPU.MaxPendingLoads, cfg.CPU.MaxPendingStores))
-	t.AddRow("L1 data", fmt.Sprintf("%dKB, %d-way, %dB lines, %d-cycle hit RT", cfg.L1.SizeBytes>>10, cfg.L1.Assoc, 1<<cfg.L1.Line.Shift(), cfg.L1HitRT))
-	t.AddRow("L2 data", fmt.Sprintf("%dKB, %d-way, %dB lines, %d-cycle hit RT", cfg.L2.SizeBytes>>10, cfg.L2.Assoc, 1<<cfg.L2.Line.Shift(), cfg.L2HitRT))
-	t.AddRow("Memory RT (row hit)", fmt.Sprintf("%d cycles", cfg.L2HitRT+4+cfg.CtrlOverhead+cfg.IssuePortBusy+cfg.DRAMRowHitLat+32))
-	t.AddRow("Memory RT (row miss)", fmt.Sprintf("%d cycles", cfg.L2HitRT+4+cfg.CtrlOverhead+cfg.IssuePortBusy+cfg.DRAMRowMissLat+32))
-	t.AddRow("Bus", "split transaction, 8B @ 400MHz (4 cycles/beat)")
-	t.AddRow("DRAM", fmt.Sprintf("%d channels x %d banks, %dB rows", cfg.DRAM.Channels, cfg.DRAM.BanksPerChannel, cfg.DRAM.RowBytes))
-	t.AddRow("Queues 1-3 depth", cfg.QueueDepth)
-	t.AddRow("Filter module", fmt.Sprintf("%d entries, FIFO", cfg.FilterSize))
-	t.AddRow("MemProc (in DRAM) RT", "21 (row hit) / 56 (row miss)")
-	t.AddRow("MemProc (North Bridge) RT", "65 (row hit) / 100 (row miss), +25 to reach DRAM")
-	t.Fprint(os.Stdout)
-}
-
-func table4(r *experiment.Runner) {
-	t := report.Table{
-		Title:  "Table 4: prefetching algorithms and parameters",
-		Header: []string{"Name", "Implementation", "Parameters"},
-	}
-	t.AddRow("Base", "ULMT software", "NumSucc=4, Assoc=4")
-	t.AddRow("Chain", "ULMT software", "NumSucc=2, Assoc=2, NumLevels=3")
-	t.AddRow("Repl", "ULMT software", "NumSucc=2, Assoc=2, NumLevels=3")
-	t.AddRow("Seq1", "ULMT software", "NumSeq=1, NumPref=6")
-	t.AddRow("Seq4", "ULMT software", "NumSeq=4, NumPref=6")
-	t.AddRow("Conven4", "hardware at L1", "NumSeq=4, NumPref=6")
-	t.Fprint(os.Stdout)
-}
-
-func table5(r *experiment.Runner) {
-	t := report.Table{
-		Title:  "Table 5: algorithm customization (Conven4 on)",
-		Header: []string{"App", "Customization", "Conven4+Repl", "Custom"},
-	}
-	for _, row := range r.Table5() {
-		t.AddRow(row.App, row.Customization, row.SpeedupBefore, row.SpeedupAfter)
-	}
-	t.Fprint(os.Stdout)
-}
-
-func fig5(r *experiment.Runner) {
-	rows := r.Fig5()
-	for lvl := 0; lvl < 3; lvl++ {
-		algs := experiment.Fig5Algorithms
-		if lvl > 0 {
-			algs = filterOut(algs, "Base", "Seq4+Base")
-		}
-		t := report.Table{
-			Title:  fmt.Sprintf("Fig 5 (level %d): %% of L2 misses correctly predicted", lvl+1),
-			Header: append([]string{"App"}, algs...),
-		}
-		var avg = make([]float64, len(algs))
-		for _, row := range rows {
-			cells := []any{row.App}
-			for i, a := range algs {
-				v := row.Acc[a][lvl]
-				avg[i] += v
-				cells = append(cells, report.Pct(v))
-			}
-			t.AddRow(cells...)
-		}
-		cells := []any{"Average"}
-		for i := range algs {
-			cells = append(cells, report.Pct(avg[i]/float64(len(rows))))
-		}
-		t.AddRow(cells...)
-		t.Fprint(os.Stdout)
-	}
-}
-
-func filterOut(xs []string, drop ...string) []string {
-	out := make([]string, 0, len(xs))
-	for _, x := range xs {
-		skip := false
-		for _, d := range drop {
-			if x == d {
-				skip = true
-			}
-		}
-		if !skip {
-			out = append(out, x)
-		}
-	}
-	return out
-}
-
-func fig6(r *experiment.Runner) {
-	rows := r.Fig6()
-	if len(rows) == 0 {
-		return
-	}
-	t := report.Table{
-		Title:  "Fig 6: time between consecutive L2 misses arriving at memory",
-		Header: []string{"App"},
-	}
-	for _, b := range rows[0].Bins {
-		t.Header = append(t.Header, b.Label)
-	}
-	avg := make([]float64, len(rows[0].Bins))
-	for _, row := range rows {
-		cells := []any{row.App}
-		for i, b := range row.Bins {
-			avg[i] += b.Frac
-			cells = append(cells, report.Pct(b.Frac))
-		}
-		t.AddRow(cells...)
-	}
-	cells := []any{"Average"}
-	for i := range avg {
-		cells = append(cells, report.Pct(avg[i]/float64(len(rows))))
-	}
-	t.AddRow(cells...)
-	t.Fprint(os.Stdout)
-}
-
-func execTable(title string, rows []experiment.Fig7Row) {
-	if len(rows) == 0 {
-		return
-	}
-	t := report.Table{
-		Title:  title,
-		Header: []string{"App", "Config", "Busy", "UpToL2", "BeyondL2", "Norm.Time", "Speedup"},
-	}
-	for _, row := range rows {
-		for _, bar := range row.Bars {
-			t.AddRow(row.App, bar.Config, bar.Busy, bar.UpToL2, bar.Beyond,
-				bar.Busy+bar.UpToL2+bar.Beyond, bar.Speedup)
-		}
-	}
-	t.Fprint(os.Stdout)
-}
-
-func fig7(r *experiment.Runner) {
-	rows := r.Fig7()
-	execTable("Fig 7: normalized execution time (memory processor in DRAM)", rows)
-	execChart("Fig 7 (bars): normalized execution time", rows)
-	avgs := r.Fig7Averages()
-	t := report.Table{Title: "Fig 7 averages", Header: []string{"Config", "AvgSpeedup"}}
-	for _, c := range experiment.Fig7Configs {
-		t.AddRow(c, avgs[c])
-	}
-	t.Fprint(os.Stdout)
-}
-
-// execChart draws each application's bars like the paper's stacked
-// figure: Busy at the bottom of the stack, BeyondL2 at the top.
-func execChart(title string, rows []experiment.Fig7Row) {
-	chart := report.BarChart{
-		Title:        title,
-		SegmentNames: []string{"Busy", "UpToL2", "BeyondL2"},
-		Width:        46,
-		Scale:        1.5,
-	}
-	for _, row := range rows {
-		for _, bar := range row.Bars {
-			chart.Bars = append(chart.Bars, report.StackedBar{
-				Label:    row.App + "/" + bar.Config,
-				Segments: []float64{bar.Busy, bar.UpToL2, bar.Beyond},
-			})
-		}
-	}
-	chart.Fprint(os.Stdout)
-}
-
-func fig8(r *experiment.Runner) {
-	execTable("Fig 8: memory processor location (DRAM vs North Bridge)", r.Fig8())
-	t := report.Table{Title: "Fig 8 averages", Header: []string{"Config", "AvgSpeedup"}}
-	for _, c := range experiment.Fig8Configs[1:] {
-		t.AddRow(c, r.AverageSpeedup(c))
-	}
-	t.Fprint(os.Stdout)
-}
-
-func fig9(r *experiment.Runner) {
-	t := report.Table{
-		Title:  "Fig 9: L2 misses + prefetches, normalized to original misses",
-		Header: []string{"Group", "Config", "Hits", "DelayedHits", "NonPrefMiss", "Replaced", "Redundant", "Coverage"},
-	}
-	for _, row := range r.Fig9() {
-		for _, bar := range row.Bars {
-			t.AddRow(row.App, bar.Config, bar.Hits, bar.DelayedHits,
-				bar.NonPrefMisses, bar.Replaced, bar.Redundant, bar.Coverage)
-		}
-	}
-	t.Fprint(os.Stdout)
-}
-
-func fig10(r *experiment.Runner) {
-	t := report.Table{
-		Title:  "Fig 10: ULMT response and occupancy (cycles, Busy/Mem split), IPC",
-		Header: []string{"Config", "RespBusy", "RespMem", "Resp", "OccBusy", "OccMem", "Occ", "IPC"},
-	}
-	for _, bar := range r.Fig10() {
-		t.AddRow(bar.Config,
-			report.F1(bar.ResponseBusy), report.F1(bar.ResponseMem), report.F1(bar.ResponseBusy+bar.ResponseMem),
-			report.F1(bar.OccupancyBusy), report.F1(bar.OccupancyMem), report.F1(bar.OccupancyBusy+bar.OccupancyMem),
-			bar.IPC)
-	}
-	t.Fprint(os.Stdout)
-}
-
-func ablation(r *experiment.Runner) {
-	t := report.Table{
-		Title:  "Ablations: design decisions of DESIGN.md, on Mcf",
-		Header: []string{"Mechanism", "Metric", "Paper design", "Ablated"},
-	}
-	for _, row := range r.Ablations("Mcf") {
-		t.AddRow(row.Name, row.Metric, row.Baseline, row.Ablated)
-	}
-	t.Fprint(os.Stdout)
-}
-
-func sweep(r *experiment.Runner) {
-	t := report.Table{
-		Title:  "Parameter sensitivity (Repl): NumLevels and NumRows (Mcf, MST)",
-		Header: []string{"App", "Param", "Value", "Speedup", "Coverage", "Pushes/Miss"},
-	}
-	for _, app := range []string{"Mcf", "MST"} {
-		for _, pt := range r.SweepNumLevels(app) {
-			t.AddRow(pt.App, pt.Param, pt.Value, pt.Speedup, pt.Coverage, pt.PushesPerMiss)
-		}
-		for _, pt := range r.SweepNumRows(app) {
-			t.AddRow(pt.App, pt.Param, pt.Value, pt.Speedup, pt.Coverage, pt.PushesPerMiss)
-		}
-	}
-	t.Fprint(os.Stdout)
-}
-
-// faults runs each application under Repl (plus NoPref as control)
-// and prints the injected-fault and degradation counters; with
-// -faults off every cell is zero.
-func faults(r *experiment.Runner) {
-	var rows []core.Results
-	for _, app := range r.Apps() {
-		rows = append(rows, r.Run(app, experiment.CfgNoPref))
-		rows = append(rows, r.Run(app, experiment.CfgRepl))
-	}
-	t := report.FaultTable("Fault injection summary (per run)", rows)
-	t.Fprint(os.Stdout)
-}
-
-func fig11(r *experiment.Runner) {
-	t := report.Table{
-		Title:  "Fig 11: main memory bus utilization",
-		Header: []string{"Config", "Total", "NoPrefPart", "SpeedupPart", "PrefetchPart"},
-	}
-	for _, bar := range r.Fig11() {
-		t.AddRow(bar.Config, report.Pct(bar.Utilization), report.Pct(bar.BasePart),
-			report.Pct(bar.SpeedupPart), report.Pct(bar.PrefetchPart))
-	}
-	t.Fprint(os.Stdout)
 }

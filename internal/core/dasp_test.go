@@ -2,7 +2,6 @@ package core
 
 import (
 	"testing"
-
 )
 
 // TestDASPNarrowScope reproduces the paper's motivation for a

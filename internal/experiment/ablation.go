@@ -6,6 +6,59 @@ import (
 	"ulmt/internal/table"
 )
 
+// Ablation configuration labels: each is CfgRepl with one mechanism
+// changed. They are full citizens of the run matrix — BuildConfig
+// knows them, Run memoizes them, and the parallel scheduler executes
+// them like any paper configuration.
+const (
+	AblLearnFirst   = "Abl/LearnFirst"
+	AblNoCrossMatch = "Abl/NoCrossMatch"
+	AblNoFilter     = "Abl/NoFilter"
+	AblDropPushes   = "Abl/DropPushes"
+	AblNoPointers   = "Abl/NoPointers"
+	AblAdaptive     = "Abl/Adaptive"
+)
+
+// AblationConfigs lists the ablation labels in report order.
+var AblationConfigs = []string{
+	AblLearnFirst, AblNoCrossMatch, AblNoFilter,
+	AblDropPushes, AblNoPointers, AblAdaptive,
+}
+
+// AblationApp is the representative irregular application the
+// ablation report runs on.
+const AblationApp = "Mcf"
+
+// ablationConfig builds the config for an ablation label, or reports
+// that the label is not an ablation.
+func (r *Runner) ablationConfig(app, label string) (core.Config, bool) {
+	cfg := r.BuildConfig(app, CfgRepl)
+	switch label {
+	case AblLearnFirst:
+		cfg.LearnFirst = true
+	case AblNoCrossMatch:
+		cfg.DisableCrossMatch = true
+	case AblNoFilter:
+		cfg.FilterSize = 0
+	case AblDropPushes:
+		cfg.DropPushes = true
+	case AblNoPointers:
+		p := table.ReplParams(r.NumRows(app))
+		t := table.NewRepl(p, TableBase)
+		t.UsePointers = false
+		cfg.ULMT = prefetch.NewRepl(t)
+	case AblAdaptive:
+		p := table.ReplParams(r.NumRows(app))
+		cfg.ULMT = prefetch.NewAdaptive(
+			must(prefetch.NewSeq(4, 6, SeqStateBase)),
+			prefetch.NewRepl(table.NewRepl(p, TableBase)),
+		)
+	default:
+		return core.Config{}, false
+	}
+	return cfg, true
+}
+
 // AblationRow is one design-decision experiment: the same
 // application and algorithm with a single mechanism changed.
 type AblationRow struct {
@@ -27,69 +80,50 @@ type AblationRow struct {
 //  5. Replicated's last-miss pointers (§3.3.2) — occupancy time;
 //  6. the adaptive algorithm extension (§3.3.3) — execution time on
 //     a mixed workload against the pair-only ULMT.
+//
+// Every variant is a labeled run read through the memo cache, so a
+// pre-planned parallel sweep leaves nothing to simulate here.
 func (r *Runner) Ablations(app string) []AblationRow {
-	ops := r.Ops(app)
-	rows := r.NumRows(app)
 	base := r.Baseline(app)
-
-	build := func(mutate func(*core.Config)) core.Results {
-		cfg := r.BuildConfig(app, CfgRepl)
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		return must(core.NewSystem(cfg)).Run(app, ops)
-	}
-
 	normal := r.Run(app, CfgRepl)
-	out := make([]AblationRow, 0, 6)
+	out := make([]AblationRow, 0, len(AblationConfigs))
 
-	lf := build(func(c *core.Config) { c.LearnFirst = true })
+	lf := r.Run(app, AblLearnFirst)
 	out = append(out, AblationRow{
 		Name: "learn-first ordering", App: app,
 		Baseline: normal.ULMT.AvgResponse(), Ablated: lf.ULMT.AvgResponse(),
 		Metric: "response cycles",
 	})
 
-	xm := build(func(c *core.Config) { c.DisableCrossMatch = true })
+	xm := r.Run(app, AblNoCrossMatch)
 	out = append(out, AblationRow{
 		Name: "no queue cross-match", App: app,
 		Baseline: float64(normal.Cycles), Ablated: float64(xm.Cycles),
 		Metric: "cycles",
 	})
 
-	nf := build(func(c *core.Config) { c.FilterSize = 0 })
+	nf := r.Run(app, AblNoFilter)
 	out = append(out, AblationRow{
 		Name: "no Filter module", App: app,
 		Baseline: float64(normal.PushesToL2), Ablated: float64(nf.PushesToL2),
 		Metric: "pushes to L2",
 	})
 
-	pull := build(func(c *core.Config) { c.DropPushes = true })
+	pull := r.Run(app, AblDropPushes)
 	out = append(out, AblationRow{
 		Name: "drop pushes (pull-style)", App: app,
 		Baseline: normal.Speedup(base), Ablated: pull.Speedup(base),
 		Metric: "speedup",
 	})
 
-	noPtr := build(func(c *core.Config) {
-		p := table.ReplParams(rows)
-		t := table.NewRepl(p, TableBase)
-		t.UsePointers = false
-		c.ULMT = prefetch.NewRepl(t)
-	})
+	noPtr := r.Run(app, AblNoPointers)
 	out = append(out, AblationRow{
 		Name: "no last-miss pointers", App: app,
 		Baseline: normal.ULMT.AvgOccupancy(), Ablated: noPtr.ULMT.AvgOccupancy(),
 		Metric: "occupancy cycles",
 	})
 
-	adaptive := build(func(c *core.Config) {
-		p := table.ReplParams(rows)
-		c.ULMT = prefetch.NewAdaptive(
-			must(prefetch.NewSeq(4, 6, SeqStateBase)),
-			prefetch.NewRepl(table.NewRepl(p, TableBase)),
-		)
-	})
+	adaptive := r.Run(app, AblAdaptive)
 	out = append(out, AblationRow{
 		Name: "adaptive seq/pair ULMT", App: app,
 		Baseline: normal.Speedup(base), Ablated: adaptive.Speedup(base),

@@ -7,6 +7,8 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"ulmt/internal/core"
 	"ulmt/internal/fault"
@@ -58,6 +60,24 @@ func (o Options) apps() []string {
 	return workload.Names()
 }
 
+// Validate reports the first error in the options: an application
+// name outside the workload registry (with the valid names listed) or
+// an out-of-range scale. Runner methods assume validated options;
+// cmd/ulmtsim calls this before building a Runner so a typo in -apps
+// exits with a clear message instead of panicking mid-experiment.
+func (o Options) Validate() error {
+	if o.Scale < workload.ScaleTiny || o.Scale > workload.ScaleLarge {
+		return fmt.Errorf("experiment: unknown scale %d", int(o.Scale))
+	}
+	for _, a := range o.Apps {
+		if _, err := workload.ByName(a); err != nil {
+			return fmt.Errorf("experiment: unknown application %q (valid: %s)",
+				a, strings.Join(workload.Names(), ", "))
+		}
+	}
+	return nil
+}
+
 // Config labels, matching the bars of Figs 7-11.
 const (
 	CfgNoPref       = "NoPref"
@@ -75,67 +95,83 @@ const (
 	CfgCustom       = "Custom"
 )
 
+// sizing is the memoized result of the Table 2 row-sizing rule.
+type sizing struct {
+	rows int
+	rate float64
+}
+
 // Runner memoizes op streams, miss traces, per-app table sizing, and
-// simulation runs across the experiments of one invocation.
+// simulation runs across the experiments of one invocation. All four
+// caches are concurrency-safe with single-flight semantics: many
+// workers may need the same op stream or baseline run at once, and
+// each is computed exactly once. A Runner is therefore safe to share
+// across the goroutines of ExecuteAll (or any caller's own pool).
 type Runner struct {
 	opt    Options
-	ops    map[string][]workload.Op
-	traces map[string][]mem.Line
-	rows   map[string]int
-	runs   map[string]core.Results
+	ops    *memo[string, []workload.Op]
+	traces *memo[string, []mem.Line]
+	rows   *memo[string, sizing]
+	runs   *memo[RunKey, core.Results]
+
+	// computed counts simulations actually executed (cache misses of
+	// runs), so tests can prove a pre-planned run set covers an
+	// entire report.
+	computed atomic.Uint64
 }
 
 // NewRunner builds an empty cache of experiment state.
 func NewRunner(opt Options) *Runner {
 	return &Runner{
 		opt:    opt,
-		ops:    make(map[string][]workload.Op),
-		traces: make(map[string][]mem.Line),
-		rows:   make(map[string]int),
-		runs:   make(map[string]core.Results),
+		ops:    newMemo[string, []workload.Op](),
+		traces: newMemo[string, []mem.Line](),
+		rows:   newMemo[string, sizing](),
+		runs:   newMemo[RunKey, core.Results](),
 	}
 }
 
 // Apps returns the application set this runner operates over.
 func (r *Runner) Apps() []string { return r.opt.apps() }
 
+// RunsComputed reports how many simulations this runner has actually
+// executed (as opposed to served from cache).
+func (r *Runner) RunsComputed() uint64 { return r.computed.Load() }
+
 // Ops returns (generating once) the op stream of an application.
 func (r *Runner) Ops(app string) []workload.Op {
-	if ops, ok := r.ops[app]; ok {
-		return ops
-	}
-	w, err := workload.ByName(app)
-	if err != nil {
-		panic(err)
-	}
-	ops := w.Generate(r.opt.Scale)
-	r.ops[app] = ops
-	return ops
+	return r.ops.get(app, func() []workload.Op {
+		w, err := workload.ByName(app)
+		if err != nil {
+			// Options.Validate catches unknown names up front; hitting
+			// this means a caller bypassed validation.
+			panic(err)
+		}
+		return w.Generate(r.opt.Scale)
+	})
 }
 
 // MissTrace returns (extracting once) the functional L2 miss trace.
 func (r *Runner) MissTrace(app string) []mem.Line {
-	if t, ok := r.traces[app]; ok {
-		return t
-	}
-	cfg := core.DefaultConfig()
-	t := trace.L2Misses(r.Ops(app), trace.Config{
-		L1: cfg.L1, L2: cfg.L2, LinearPages: cfg.LinearPages, Seed: r.opt.Seed,
+	return r.traces.get(app, func() []mem.Line {
+		cfg := core.DefaultConfig()
+		return trace.L2Misses(r.Ops(app), trace.Config{
+			L1: cfg.L1, L2: cfg.L2, LinearPages: cfg.LinearPages, Seed: r.opt.Seed,
+		})
 	})
-	r.traces[app] = t
-	return t
+}
+
+// sizeRows applies (once) the Table 2 sizing rule to an application.
+func (r *Runner) sizeRows(app string) sizing {
+	return r.rows.get(app, func() sizing {
+		n, rate := table.SizeRows(r.MissTrace(app), 2, 0.05, 1<<10, 1<<22)
+		return sizing{rows: n, rate: rate}
+	})
 }
 
 // NumRows returns the Table 2 sizing for an application: the lowest
 // power of two with <5% of insertions replacing a valid row.
-func (r *Runner) NumRows(app string) int {
-	if n, ok := r.rows[app]; ok {
-		return n
-	}
-	n, _ := table.SizeRows(r.MissTrace(app), 2, 0.05, 1<<10, 1<<22)
-	r.rows[app] = n
-	return n
-}
+func (r *Runner) NumRows(app string) int { return r.sizeRows(app).rows }
 
 // predictorRows sizes the large conflict-free tables of the Fig 5
 // methodology (the paper uses NumRows=256K; smaller scales use
@@ -212,23 +248,28 @@ func (r *Runner) BuildConfig(app, label string) core.Config {
 			cfg.ULMT = newRepl(3)
 		}
 	default:
+		if c, ok := r.ablationConfig(app, label); ok {
+			return c
+		}
+		if c, ok := r.sweepConfig(app, label); ok {
+			return c
+		}
 		panic(fmt.Sprintf("experiment: unknown configuration %q", label))
 	}
 	return cfg
 }
 
 // Run simulates (once) application app under the labeled
-// configuration.
+// configuration. Concurrent callers of the same (app, label) pair
+// share one simulation.
 func (r *Runner) Run(app, label string) core.Results {
-	key := app + "/" + label
-	if res, ok := r.runs[key]; ok {
+	return r.runs.get(RunKey{App: app, Label: label}, func() core.Results {
+		cfg := r.BuildConfig(app, label)
+		res := must(core.NewSystem(cfg)).Run(app, r.Ops(app))
+		res.Label = label
+		r.computed.Add(1)
 		return res
-	}
-	cfg := r.BuildConfig(app, label)
-	res := must(core.NewSystem(cfg)).Run(app, r.Ops(app))
-	res.Label = label
-	r.runs[key] = res
-	return res
+	})
 }
 
 // Baseline returns the NoPref run for normalization.

@@ -1,0 +1,37 @@
+package experiment
+
+import "sync"
+
+// memo is a concurrency-safe, single-flight memoization cache. Each
+// key's value is computed exactly once, no matter how many goroutines
+// ask for it concurrently: the first caller runs the compute function
+// while later callers block on the entry's once and then share the
+// result. The map mutex is never held during a computation, so a
+// compute function may freely consult other memos (Run -> NumRows ->
+// MissTrace -> Ops chains through four of them).
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	v    V
+}
+
+func newMemo[K comparable, V any]() *memo[K, V] {
+	return &memo[K, V]{m: make(map[K]*memoEntry[V])}
+}
+
+// get returns the value for k, computing it with f on first use.
+func (c *memo[K, V]) get(k K, f func() V) V {
+	c.mu.Lock()
+	e := c.m[k]
+	if e == nil {
+		e = new(memoEntry[V])
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.v = f() })
+	return e.v
+}

@@ -1,0 +1,30 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"ulmt/internal/workload"
+)
+
+// BenchmarkRunnerParallel measures wall-clock scaling of the run
+// scheduler on the Fig 7 matrix (all nine applications x the six
+// Fig 7 configurations) at tiny scale. Each iteration starts from a
+// cold Runner so every planned simulation actually executes; the
+// interesting number is the per-op time ratio between the -j
+// sub-benchmarks, which is the parallel speedup. Results are recorded
+// in EXPERIMENTS.md.
+func BenchmarkRunnerParallel(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := NewRunner(Options{Scale: workload.ScaleTiny, Seed: 1})
+				keys := r.PlanRuns([]string{"fig7"})
+				if len(keys) == 0 {
+					b.Fatal("empty fig7 plan")
+				}
+				r.ExecuteAll(keys, jobs, nil)
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunKey names one simulation of the experiment matrix: an
+// application under a labeled configuration.
+type RunKey struct {
+	App   string
+	Label string
+}
+
+// ExperimentRuns declares the full set of simulations the named
+// experiment reads, in rendering order. Experiments that only consume
+// functional traces or structural measurements (table1-table4, fig5)
+// declare no runs. The renderers read results exclusively through
+// Run, so executing these keys first means rendering touches only
+// completed results — TestPlanCoversRender enforces that.
+func (r *Runner) ExperimentRuns(exp string) []RunKey {
+	matrix := func(apps []string, labels []string) []RunKey {
+		out := make([]RunKey, 0, len(apps)*len(labels))
+		for _, app := range apps {
+			for _, label := range labels {
+				out = append(out, RunKey{App: app, Label: label})
+			}
+		}
+		return out
+	}
+	apps := r.opt.apps()
+	switch exp {
+	case "fig6":
+		return matrix(apps, []string{CfgNoPref})
+	case "fig7":
+		return matrix(apps, Fig7Configs)
+	case "fig8":
+		return matrix(apps, Fig8Configs)
+	case "fig9":
+		return matrix(apps, Fig9Configs)
+	case "fig10":
+		return matrix(apps, Fig10Configs)
+	case "fig11":
+		return matrix(apps, Fig11Configs)
+	case "table5":
+		var present []string
+		for _, app := range []string{"CG", "MST", "Mcf"} {
+			if containsStr(apps, app) {
+				present = append(present, app)
+			}
+		}
+		return matrix(present, []string{CfgNoPref, CfgConvenRepl, CfgCustom})
+	case "ablation":
+		return matrix([]string{AblationApp},
+			append([]string{CfgNoPref, CfgRepl}, AblationConfigs...))
+	case "sweep":
+		return matrix(SweepApps, append([]string{CfgNoPref}, SweepConfigs()...))
+	case "faults":
+		return matrix(apps, []string{CfgNoPref, CfgRepl})
+	}
+	return nil
+}
+
+// PlanRuns unions the run sets of several experiments, deduplicated
+// in first-appearance order.
+func (r *Runner) PlanRuns(exps []string) []RunKey {
+	seen := make(map[RunKey]bool)
+	var out []RunKey
+	for _, exp := range exps {
+		for _, k := range r.ExperimentRuns(exp) {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// ExecuteAll runs every key on a bounded worker pool of the given
+// size (<=0 means GOMAXPROCS) and returns when all are complete.
+// Because Run memoizes with single-flight semantics, keys that share
+// op streams, miss traces or sizing compute them once, and a key
+// already cached costs nothing. onDone, if non-nil, is called after
+// each completed run with (completed, total); it may be called from
+// many goroutines at once and must synchronize itself.
+//
+// Results are byte-identical to running the keys serially: every
+// simulation is an isolated System whose output is a pure function of
+// (Options, app, label), so only scheduling order differs — see
+// TestParallelEquivalence.
+func (r *Runner) ExecuteAll(keys []RunKey, workers int, onDone func(completed, total int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if len(keys) == 0 {
+		return
+	}
+	var done atomic.Int64
+	work := make(chan RunKey)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				r.Run(k.App, k.Label)
+				n := int(done.Add(1))
+				if onDone != nil {
+					onDone(n, len(keys))
+				}
+			}
+		}()
+	}
+	for _, k := range keys {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+}

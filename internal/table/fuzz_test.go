@@ -1,0 +1,80 @@
+package table
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"ulmt/internal/mem"
+)
+
+// traceFromBytes decodes a fuzz payload into an adversarial miss
+// trace: each 2-byte little-endian word is one L2 miss line, so the
+// fuzzer controls conflict structure (repeats, strides, hash
+// collisions) directly.
+func traceFromBytes(data []byte) []mem.Line {
+	trace := make([]mem.Line, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		trace = append(trace, mem.Line(binary.LittleEndian.Uint16(data[i:])))
+	}
+	return trace
+}
+
+// FuzzSizeRows checks the Table 2 sizing rule on adversarial miss
+// traces and hostile geometry: it must never panic, and the returned
+// NumRows must respect the documented bounds and rounding whatever
+// the trace looks like.
+func FuzzSizeRows(f *testing.F) {
+	f.Add([]byte{}, uint8(2), 0.05, uint16(4), uint16(1024))
+	f.Add([]byte{1, 0, 2, 0, 3, 0, 1, 0, 2, 0, 3, 0}, uint8(2), 0.05, uint16(4), uint16(64))
+	// Non-power-of-two assoc used to panic inside NewBase.
+	f.Add([]byte{9, 0, 9, 1, 9, 2, 9, 3}, uint8(3), 0.05, uint16(4), uint16(64))
+	// maxRows below minRows.
+	f.Add([]byte{7, 7, 7, 7}, uint8(4), 0.5, uint16(512), uint16(8))
+	// Threshold never satisfiable: every insertion replaces at rows=assoc.
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5}, uint8(1), 0.0, uint16(1), uint16(16))
+	// NaN threshold.
+	f.Add([]byte{5, 0, 6, 0}, uint8(2), math.NaN(), uint16(2), uint16(32))
+
+	f.Fuzz(func(t *testing.T, data []byte, assoc uint8, frac float64, minR, maxR uint16) {
+		// Bound the search space, not the values: maxRows caps the
+		// doubling loop so a hostile threshold cannot make the fuzzer
+		// allocate without limit.
+		maxRows := int(maxR)
+		if maxRows > 1<<12 {
+			maxRows = 1 << 12
+		}
+		trace := traceFromBytes(data)
+
+		rows, rate := SizeRows(trace, int(assoc), frac, int(minR), maxRows)
+
+		if rows < 1 || rows&(rows-1) != 0 {
+			t.Fatalf("NumRows = %d: not a positive power of two", rows)
+		}
+		// The result never exceeds one doubling past the largest lower
+		// bound: minRows, maxRows, or assoc (a uint8 rounds down to at
+		// most 128 ways, and the row floor is at least one full set).
+		limit := 128
+		if int(minR) > limit {
+			limit = int(minR)
+		}
+		if maxRows > limit {
+			limit = maxRows
+		}
+		if rows >= 2*limit {
+			t.Fatalf("NumRows = %d exceeds 2*max(minRows=%d, maxRows=%d, 128)", rows, minR, maxRows)
+		}
+		if len(trace) == 0 && rate != 0 {
+			t.Fatalf("empty trace produced replacement rate %v", rate)
+		}
+		if !math.IsNaN(rate) && (rate < 0 || rate > 1) {
+			t.Fatalf("replacement rate %v outside [0, 1]", rate)
+		}
+
+		// Sizing is a pure function: a second call must agree exactly.
+		rows2, rate2 := SizeRows(trace, int(assoc), frac, int(minR), maxRows)
+		if rows2 != rows || (rate2 != rate && !(math.IsNaN(rate) && math.IsNaN(rate2))) {
+			t.Fatalf("non-deterministic: (%d, %v) then (%d, %v)", rows, rate, rows2, rate2)
+		}
+	})
+}

@@ -14,16 +14,28 @@ import "ulmt/internal/mem"
 // The probe uses the Base organization; the resulting NumRows is then
 // shared by Base, Chain and Replicated, whose sizes differ only in
 // row bytes, as in the paper.
+//
+// The geometry arguments are sanitized rather than validated: assoc
+// is rounded down to a power of two (Params needs a power-of-two set
+// count), minRows is rounded up to a power of two of at least assoc,
+// and the search stops at maxRows even when maxRows < minRows, so the
+// result is always at least minRows. SizeRows never panics and is a
+// pure function of its arguments.
 func SizeRows(trace []mem.Line, assoc int, maxReplaceFrac float64, minRows, maxRows int) (numRows int, rate float64) {
 	if assoc <= 0 {
 		assoc = 2
+	}
+	// Round assoc down to a power of two so sets = rows/assoc is a
+	// power of two whenever rows is.
+	for assoc&(assoc-1) != 0 {
+		assoc &= assoc - 1
 	}
 	if minRows < assoc {
 		minRows = assoc
 	}
 	// Round minRows up to a power of two.
 	for minRows&(minRows-1) != 0 {
-		minRows++
+		minRows += minRows & -minRows
 	}
 	var sink NullSink
 	for rows := minRows; ; rows *= 2 {
@@ -32,7 +44,9 @@ func SizeRows(trace []mem.Line, assoc int, maxReplaceFrac float64, minRows, maxR
 			t.Learn(m, sink)
 		}
 		rate = t.Stats().ReplacementRate()
-		if rate < maxReplaceFrac || rows >= maxRows {
+		// rows<<1 guards pathological maxRows: stop before the doubling
+		// could overflow.
+		if rate < maxReplaceFrac || rows >= maxRows || rows<<1 <= 0 {
 			return rows, rate
 		}
 	}
