@@ -8,6 +8,13 @@
 //	ulmtsim [-exp all|table1..table5|fig5..fig11|ablation|sweep|faults]
 //	        [-scale tiny|small|medium|large] [-apps CG,Mcf,...] [-seed N]
 //	        [-j N] [-faults off|light|heavy|k=v,...] [-fault-seed N]
+//	        [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//
+// The profiling flags wrap the whole run in the standard pprof /
+// runtime-trace collectors: -cpuprofile and -trace record while the
+// matrix executes, -memprofile snapshots the heap after it finishes
+// (after a GC, so it shows live retention, not garbage). Inspect with
+// `go tool pprof` / `go tool trace`.
 //
 // The run matrix of the requested experiments is pre-planned and
 // executed on -j parallel workers (default: GOMAXPROCS) with live
@@ -25,6 +32,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"sync"
 	"time"
@@ -35,6 +44,15 @@ import (
 )
 
 func main() {
+	// run carries the real work so its defers — profile and trace
+	// stops — flush before the process exits with its status code.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run() error {
 	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig5..fig11, ablation, sweep, faults)")
 	scaleFlag := flag.String("scale", "small", "problem scale: tiny, small, medium, large")
 	appsFlag := flag.String("apps", "", "comma-separated application subset (default: all nine)")
@@ -42,18 +60,58 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 	faultSpec := flag.String("faults", "off", "fault plan: off, light, heavy, or key=value list (see internal/fault)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault plan's pseudo-random schedule")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("ulmtsim: -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("ulmtsim: -cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("ulmtsim: -trace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("ulmtsim: -trace: %w", err)
+		}
+		defer trace.Stop()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("ulmtsim: -memprofile: %w", err)
+		}
+		defer func() {
+			// Snapshot live heap retention, not collectable garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ulmtsim: -memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	scale, err := workload.ParseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	plan, err := fault.ParseSpec(*faultSpec, *faultSeed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *jobs < 1 {
-		fatal(fmt.Errorf("ulmtsim: -j must be >= 1, got %d", *jobs))
+		return fmt.Errorf("ulmtsim: -j must be >= 1, got %d", *jobs)
 	}
 	opt := experiment.Options{Scale: scale, Seed: *seed, Faults: plan}
 	if *appsFlag != "" {
@@ -62,7 +120,7 @@ func main() {
 		}
 	}
 	if err := opt.Validate(); err != nil {
-		fatal(err)
+		return err
 	}
 
 	exps := []string{*exp}
@@ -71,8 +129,8 @@ func main() {
 	}
 	for _, e := range exps {
 		if !experiment.IsExperiment(e) {
-			fatal(fmt.Errorf("unknown experiment %q (have all, %s)",
-				e, strings.Join(experiment.Experiments(), ", ")))
+			return fmt.Errorf("unknown experiment %q (have all, %s)",
+				e, strings.Join(experiment.Experiments(), ", "))
 		}
 	}
 	r := experiment.NewRunner(opt)
@@ -88,14 +146,10 @@ func main() {
 	}
 	for _, e := range exps {
 		if err := r.Render(os.Stdout, e); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(2)
+	return nil
 }
 
 // progress prints live run-matrix completion to stderr: runs done,

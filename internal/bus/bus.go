@@ -17,8 +17,13 @@
 // paper's measurements.
 //
 // The model therefore runs as an active component on the simulation
-// engine: callers enqueue transfers with a completion callback, and
-// the bus grants them in priority order.
+// engine. Completion can be delivered two ways: the TransferRequestTo
+// / TransferLineTo forms forward a typed (sim.Kind, sim.Event) pair
+// to a long-lived actor — the allocation-free path every per-miss
+// transfer uses — while the closure forms remain for one-off callers
+// and tests. Either way the bus itself is a sim.Actor: each in-flight
+// transfer is completed by one typed self-event, so a granted
+// transfer costs no allocation at all.
 package bus
 
 import (
@@ -58,10 +63,47 @@ func DefaultConfig() Config {
 	return Config{CyclesPerBeat: 4, BeatsPerLine: 8, RequestBeats: 1}
 }
 
+// transfer is one queued bus occupancy. Completion goes to the typed
+// (actor, ekind, ev) target when actor is non-nil, else to onDone.
 type transfer struct {
 	dur    sim.Cycle
 	kind   Kind
+	actor  sim.Actor
+	ekind  sim.Kind
+	ev     sim.Event
 	onDone func(done sim.Cycle)
+}
+
+// ring is a FIFO of transfers on a reused circular buffer, so
+// steady-state enqueue/dequeue never allocates (the old slice queue
+// re-appended into freshly grown backing arrays forever, because
+// popping with q = q[1:] strands the front capacity).
+type ring struct {
+	buf  []transfer
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) push(t transfer) {
+	if r.n == len(r.buf) {
+		grown := make([]transfer, max(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = t
+	r.n++
+}
+
+func (r *ring) pop() transfer {
+	t := r.buf[r.head]
+	r.buf[r.head] = transfer{} // release callback references
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return t
 }
 
 // Bus serializes transfers on a single shared medium with demand
@@ -70,9 +112,10 @@ type Bus struct {
 	cfg       Config
 	eng       *sim.Engine
 	busyUntil sim.Cycle
-	highQ     []transfer // Demand
-	lowQ      []transfer // Writeback, Prefetch
+	highQ     ring // Demand
+	lowQ      ring // Writeback, Prefetch
 	granting  bool
+	inflight  ring // granted transfers awaiting their completion event
 	st        stats.BusStats
 
 	// stretch, when set, may lengthen a transfer granted at now
@@ -89,23 +132,37 @@ func New(eng *sim.Engine, cfg Config) *Bus { return &Bus{cfg: cfg, eng: eng} }
 func (b *Bus) SetStretch(f func(now, dur sim.Cycle) sim.Cycle) { b.stretch = f }
 
 // TransferRequest enqueues an address/command packet; onDone fires
-// when its last beat crosses.
+// when its last beat crosses. Closure form: allocates per call.
 func (b *Bus) TransferRequest(kind Kind, onDone func(done sim.Cycle)) {
-	b.enqueue(b.cfg.RequestBeats*b.cfg.CyclesPerBeat, kind, onDone)
+	b.enqueue(transfer{dur: b.requestCycles(), kind: kind, onDone: onDone})
 }
 
 // TransferLine enqueues a full line transfer; onDone fires when the
-// last beat lands.
+// last beat lands. Closure form: allocates per call.
 func (b *Bus) TransferLine(kind Kind, onDone func(done sim.Cycle)) {
-	b.enqueue(b.cfg.BeatsPerLine*b.cfg.CyclesPerBeat, kind, onDone)
+	b.enqueue(transfer{dur: b.LineCycles(), kind: kind, onDone: onDone})
 }
 
-func (b *Bus) enqueue(dur sim.Cycle, kind Kind, onDone func(sim.Cycle)) {
-	t := transfer{dur: dur, kind: kind, onDone: onDone}
-	if kind == Demand {
-		b.highQ = append(b.highQ, t)
+// TransferRequestTo enqueues an address/command packet, delivering
+// (ekind, ev) to a when the last beat crosses; the completion time is
+// the engine's Now at delivery. Allocation-free.
+func (b *Bus) TransferRequestTo(kind Kind, a sim.Actor, ekind sim.Kind, ev sim.Event) {
+	b.enqueue(transfer{dur: b.requestCycles(), kind: kind, actor: a, ekind: ekind, ev: ev})
+}
+
+// TransferLineTo enqueues a full line transfer, delivering (ekind,
+// ev) to a when the last beat lands. Allocation-free.
+func (b *Bus) TransferLineTo(kind Kind, a sim.Actor, ekind sim.Kind, ev sim.Event) {
+	b.enqueue(transfer{dur: b.LineCycles(), kind: kind, actor: a, ekind: ekind, ev: ev})
+}
+
+func (b *Bus) requestCycles() sim.Cycle { return b.cfg.RequestBeats * b.cfg.CyclesPerBeat }
+
+func (b *Bus) enqueue(t transfer) {
+	if t.kind == Demand {
+		b.highQ.push(t)
 	} else {
-		b.lowQ = append(b.lowQ, t)
+		b.lowQ.push(t)
 	}
 	b.grant()
 }
@@ -122,12 +179,10 @@ func (b *Bus) grant() {
 	}
 	var t transfer
 	switch {
-	case len(b.highQ) > 0:
-		t = b.highQ[0]
-		b.highQ = b.highQ[1:]
-	case len(b.lowQ) > 0:
-		t = b.lowQ[0]
-		b.lowQ = b.lowQ[1:]
+	case b.highQ.len() > 0:
+		t = b.highQ.pop()
+	case b.lowQ.len() > 0:
+		t = b.lowQ.pop()
 	default:
 		return
 	}
@@ -142,13 +197,29 @@ func (b *Bus) grant() {
 	if t.kind == Prefetch {
 		b.st.PrefetchCycles += dur
 	}
-	b.eng.At(done, func() {
-		if t.onDone != nil {
-			t.onDone(done)
-		}
-		b.grant()
-	})
+	b.inflight.push(t)
+	b.eng.Schedule(done, b, 0, sim.Event{})
 	b.granting = false
+}
+
+// Fire implements sim.Actor: the oldest in-flight transfer's last
+// beat has crossed. Deliver its completion, then grant the next
+// transfer. In-flight transfers are a FIFO, not a single slot: a
+// transfer enqueued at exactly busyUntil — before the pending
+// completion event fires in the same cycle — is granted immediately
+// (busyUntil > now is false), briefly overlapping the finishing one.
+// Completion events still fire in grant order (each done time is >=
+// the previous, and same-cycle ties fire in schedule order), so the
+// FIFO pairs every event with its transfer.
+func (b *Bus) Fire(_ sim.Kind, _ sim.Event) {
+	t := b.inflight.pop()
+	switch {
+	case t.actor != nil:
+		t.actor.Fire(t.ekind, t.ev)
+	case t.onDone != nil:
+		t.onDone(b.eng.Now())
+	}
+	b.grant()
 }
 
 // LineCycles reports how long one line transfer occupies the bus.
@@ -156,14 +227,14 @@ func (b *Bus) LineCycles() sim.Cycle { return b.cfg.BeatsPerLine * b.cfg.CyclesP
 
 // Backlog reports queued-but-ungranted transfers (both classes),
 // a congestion signal for diagnostics.
-func (b *Bus) Backlog() int { return len(b.highQ) + len(b.lowQ) }
+func (b *Bus) Backlog() int { return b.highQ.len() + b.lowQ.len() }
 
 // LowBacklog reports queued-but-ungranted low-priority transfers.
 // The memory controller uses it as back-pressure: it stops launching
 // prefetch pushes when the staging buffer is full, so stale pushes
 // pile up in queue 3 (and are dropped or cross-matched there) rather
 // than in an unbounded bus queue.
-func (b *Bus) LowBacklog() int { return len(b.lowQ) }
+func (b *Bus) LowBacklog() int { return b.lowQ.len() }
 
 // Stats returns the accumulated occupancy counters.
 func (b *Bus) Stats() stats.BusStats { return b.st }

@@ -109,6 +109,9 @@ func New(cfg Config) (*Cache, error) {
 		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	c.mshrs = make([]MSHR, cfg.MSHRs)
+	// The write-back queue never exceeds WBQDepth, so one up-front
+	// allocation keeps every later append in place.
+	c.wbq = make([]mem.Line, 0, cfg.WBQDepth)
 	return c, nil
 }
 

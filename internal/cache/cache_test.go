@@ -327,3 +327,34 @@ func TestCacheNeverExceedsCapacityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestZeroAllocSteadyState pins the structural fast paths — demand
+// lookup, fill with dirty eviction into the (preallocated) write-back
+// queue, and write-back drain — as allocation-free, so per-miss cache
+// work never reaches the heap (ISSUE 3 satellite: the wbq used to
+// grow by append during runs).
+func TestZeroAllocSteadyState(t *testing.T) {
+	c, err := New(Config{SizeBytes: 4096, Assoc: 2, Line: 64, MSHRs: 4, WBQDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var i uint64
+	work := func() {
+		l := mem.Line(i % 128)
+		i++
+		if !c.Access(l, true).Hit {
+			c.Fill(l, true, false)
+		}
+		for {
+			if _, ok := c.PopWB(); !ok {
+				break
+			}
+		}
+	}
+	for n := 0; n < 512; n++ {
+		work() // touch every set and fill the wbq backing once
+	}
+	if avg := testing.AllocsPerRun(500, work); avg != 0 {
+		t.Fatalf("cache steady state allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"ulmt/internal/mem"
 	"ulmt/internal/memproc"
 	"ulmt/internal/prefetch"
+	"ulmt/internal/sim"
 	"ulmt/internal/workload"
 )
 
@@ -121,22 +122,23 @@ func (s *System) pumpActive() {
 	a.running = true
 	now := s.eng.Now()
 	ses := s.mp.Begin(now)
-	var emits []mem.Line
-	for a.ahead()+len(emits) < a.cfg.MaxAhead {
+	s.activeEmits = s.activeEmits[:0]
+	for a.ahead()+len(s.activeEmits) < a.cfg.MaxAhead {
 		l, ok := a.cfg.Slice.Next(ses)
 		if !ok {
 			a.done = true
 			break
 		}
-		emits = append(emits, l)
+		s.activeEmits = append(s.activeEmits, l)
 	}
 	ses.MarkResponse()
+	elapsed := ses.Elapsed() // read before Finish recycles the session
 	s.mp.Finish(ses)
-	a.generated += uint64(len(emits))
-	for i, l := range emits {
+	a.generated += uint64(len(s.activeEmits))
+	for i, l := range s.activeEmits {
 		a.emitted[l] = a.emittedPos + i + 1
 	}
-	a.emittedPos += len(emits)
+	a.emittedPos += len(s.activeEmits)
 	if len(a.emitted) > 4*a.cfg.MaxAhead {
 		// Bound the lookup table: forget stale entries (lines the
 		// processor sailed past as hits).
@@ -146,14 +148,14 @@ func (s *System) pumpActive() {
 			}
 		}
 	}
-	end := now + ses.Elapsed()
-	if len(emits) > 0 {
-		s.eng.At(end, func() { s.depositPrefetches(emits) })
+	// The deposit schedules ahead of the session-end event, so the
+	// shared emit buffer is drained before the next session reuses it
+	// (same argument as pumpULMT).
+	end := now + elapsed
+	if len(s.activeEmits) > 0 {
+		s.eng.Schedule(end, s, evActiveDeposit, sim.Event{})
 	}
-	s.eng.At(end, func() {
-		a.running = false
-		s.pumpActive()
-	})
+	s.eng.Schedule(end, s, evActiveDone, sim.Event{})
 }
 
 // northBridgeMemProc returns the Table 3 North Bridge memory

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"ulmt/internal/cpu"
+	"ulmt/internal/mem"
+)
+
+// countCompleter counts completions without retaining anything.
+type countCompleter struct{ n int }
+
+func (c *countCompleter) Complete(uint64, cpu.Level) { c.n++ }
+
+// TestZeroAllocCacheHitPath is the system-level half of the
+// allocation-regression suite (the kernel half lives in
+// internal/sim): a steady-state L1 hit — lookup, evDone schedule,
+// event dispatch, completion — must not touch the heap at all.
+func TestZeroAllocCacheHitPath(t *testing.T) {
+	s := mustSystem(DefaultConfig())
+	eng := s.Engine()
+	done := &countCompleter{}
+
+	hit := func(i uint64) {
+		s.Load(mem.Addr((i%8)*64), i, done)
+		for eng.Pending() > 0 {
+			eng.Step()
+		}
+	}
+	// Warm the lines in (the first touches miss to memory), then lap
+	// the event wheel so every bucket's backing array exists: the
+	// clock advances a few cycles per hit, and each of the 4096
+	// buckets allocates on its first-ever use.
+	for i := uint64(0); i < 8192; i++ {
+		hit(i)
+	}
+
+	avg := testing.AllocsPerRun(200, func() { hit(1 << 20) })
+	if avg != 0 {
+		t.Fatalf("L1 hit path allocates %.2f allocs/op, want 0", avg)
+	}
+	if done.n == 0 {
+		t.Fatal("no completions delivered")
+	}
+}

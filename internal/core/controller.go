@@ -128,11 +128,7 @@ func (s *System) pumpMemory() {
 			return
 		}
 		s.issueBusy = true
-		s.eng.At(now+s.cfg.IssuePortBusy, func() {
-			s.issueBusy = false
-			s.issueDemand(pm)
-			s.pumpMemory()
-		})
+		s.eng.Schedule(now+s.cfg.IssuePortBusy, s, evIssueDemand, sim.Event{P: pm})
 		return
 	}
 	// Write-backs normally yield to prefetches, but a controller
@@ -149,11 +145,7 @@ func (s *System) pumpMemory() {
 	if s.fsb.LowBacklog() < 8 {
 		if e, ok := s.q3.Pop(); ok {
 			s.issueBusy = true
-			s.eng.At(now+s.cfg.IssuePortBusy, func() {
-				s.issueBusy = false
-				s.issuePush(e.Line)
-				s.pumpMemory()
-			})
+			s.eng.Schedule(now+s.cfg.IssuePortBusy, s, evIssuePush, sim.Event{I0: uint64(e.Line)})
 			return
 		}
 	}
@@ -169,19 +161,12 @@ func (s *System) issueWBSlot(now sim.Cycle) {
 	l := s.wbOut[0]
 	s.wbOut = s.wbOut[1:]
 	s.issueBusy = true
-	s.eng.At(now+s.cfg.IssuePortBusy, func() {
-		s.issueBusy = false
-		s.issueWriteback(l)
-		s.pumpMemory()
-	})
+	s.eng.Schedule(now+s.cfg.IssuePortBusy, s, evIssueWB, sim.Event{I0: uint64(l)})
 }
 
 func (s *System) rearm(at sim.Cycle) {
 	s.issueBusy = true
-	s.eng.At(at, func() {
-		s.issueBusy = false
-		s.pumpMemory()
-	})
+	s.eng.Schedule(at, s, evRearm, sim.Event{})
 }
 
 // issueDemand performs the DRAM access for a demand (or
@@ -194,13 +179,7 @@ func (s *System) issueDemand(pm *l2Miss) {
 		lat = s.cfg.DRAMRowHitLat
 	}
 	dataReady := bankStart + lat
-	kind := bus.Demand
-	if pm.prefetch {
-		kind = bus.Prefetch
-	}
-	s.eng.At(dataReady, func() {
-		s.fsb.TransferLine(kind, func(sim.Cycle) { s.replyArrives(pm) })
-	})
+	s.eng.Schedule(dataReady, s, evDemandData, sim.Event{P: pm})
 }
 
 // replyArrives lands a memory reply at the L2.
@@ -236,7 +215,7 @@ func (s *System) issuePush(line mem.Line) {
 		lat = s.cfg.DRAMRowHitLat
 	}
 	dataReady := bankStart + lat
-	s.eng.At(dataReady, func() { s.pushAtController(line) })
+	s.eng.Schedule(dataReady, s, evPushData, sim.Event{I0: uint64(line)})
 }
 
 // pushAtController is the moment a prefetched line's data reaches the
@@ -247,16 +226,11 @@ func (s *System) pushAtController(line mem.Line) {
 	if _, ok := s.q1.RemoveLine(line); ok {
 		if pm := s.pendingL2[line]; pm != nil && !pm.completed {
 			s.outcomes.DelayedHits++
-			s.fsb.TransferLine(bus.Demand, func(sim.Cycle) {
-				if !pm.completed {
-					s.completeL2(pm, cpu.LevelMem, true)
-				}
-				s.pumpMemory()
-			})
+			s.fsb.TransferLineTo(bus.Demand, s, evPushReply, sim.Event{P: pm})
 			return
 		}
 	}
-	s.fsb.TransferLine(bus.Prefetch, func(sim.Cycle) { s.pushArrivesAtL2(line) })
+	s.fsb.TransferLineTo(bus.Prefetch, s, evPushArrive, sim.Event{I0: uint64(line)})
 }
 
 // pushArrivesAtL2 applies the paper's §2.1 acceptance rules.
@@ -304,10 +278,7 @@ func (s *System) pushArrivesAtL2(line mem.Line) {
 // issueWriteback retires one dirty L2 victim: the line crosses the
 // bus to the controller and is written into its DRAM bank. No reply.
 func (s *System) issueWriteback(line mem.Line) {
-	s.fsb.TransferLine(bus.Writeback, func(sim.Cycle) {
-		s.ram.Access(s.eng.Now(), line)
-		s.pumpMemory()
-	})
+	s.fsb.TransferLineTo(bus.Writeback, s, evWBDone, sim.Event{I0: uint64(line)})
 }
 
 // pumpULMT runs the memory thread's infinite loop (paper Fig 2): pop
@@ -324,20 +295,20 @@ func (s *System) pumpULMT() {
 	s.ulmtBusy = true
 	now := s.eng.Now()
 	ses := s.mp.Begin(now)
-	var emits []mem.Line
-
-	collect := func(l mem.Line) {
-		if l != e.Line {
-			emits = append(emits, l)
-		}
-	}
+	// The emit buffer and collect callback live on the System: the
+	// deposit event always fires before the next session starts (it
+	// never schedules later than evUlmtDone and wins the same-cycle
+	// tie), so one buffer per thread suffices and a session allocates
+	// nothing.
+	s.ulmtObs = e.Line
+	s.ulmtEmits = s.ulmtEmits[:0]
 	if s.cfg.LearnFirst {
 		// Ablation: naive ordering. Response spans both steps.
 		s.ulmt.Learn(e.Line, ses)
-		s.ulmt.Prefetch(e.Line, ses, collect)
+		s.ulmt.Prefetch(e.Line, ses, s.collectULMT)
 		ses.MarkResponse()
 	} else {
-		s.ulmt.Prefetch(e.Line, ses, collect)
+		s.ulmt.Prefetch(e.Line, ses, s.collectULMT)
 		ses.MarkResponse()
 		s.ulmt.Learn(e.Line, ses)
 	}
@@ -360,13 +331,10 @@ func (s *System) pumpULMT() {
 		}
 	}
 
-	if len(emits) > 0 {
-		s.eng.At(respAt, func() { s.depositPrefetches(emits) })
+	if len(s.ulmtEmits) > 0 {
+		s.eng.Schedule(respAt, s, evUlmtDeposit, sim.Event{})
 	}
-	s.eng.At(occAt, func() {
-		s.ulmtBusy = false
-		s.pumpULMT()
-	})
+	s.eng.Schedule(occAt, s, evUlmtDone, sim.Event{})
 }
 
 // depositPrefetches runs each generated address through the Filter

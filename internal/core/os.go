@@ -46,6 +46,7 @@ func (s *System) doRemap(vaddr mem.Addr) {
 		}
 	}
 	ses.MarkResponse()
+	elapsed := ses.Elapsed() // read before Finish recycles the session
 	s.mp.Finish(ses)
 	s.remapsHandled++
 	s.remapRowsMoved += uint64(moved)
@@ -53,10 +54,7 @@ func (s *System) doRemap(vaddr mem.Addr) {
 	// observation until the session ends.
 	if !s.ulmtBusy {
 		s.ulmtBusy = true
-		s.eng.At(s.eng.Now()+ses.Elapsed(), func() {
-			s.ulmtBusy = false
-			s.pumpULMT()
-		})
+		s.eng.Schedule(s.eng.Now()+elapsed, s, evUlmtDone, sim.Event{})
 	}
 }
 

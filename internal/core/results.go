@@ -74,6 +74,11 @@ type Results struct {
 	// ConvenIssued counts processor-side prefetch lines requested.
 	ConvenIssued uint64
 
+	// CacheFP folds the final L1 and L2 contents into one hash
+	// (System.CacheFingerprint), so equivalence tests can compare
+	// terminal cache state, not just counters.
+	CacheFP uint64
+
 	// OpsRetired is the number of workload ops executed.
 	OpsRetired uint64
 	// CPUIssueCycles and CPUComputeCycles break explicit activity

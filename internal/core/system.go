@@ -44,6 +44,23 @@ type System struct {
 	// active is the Fig 1-(c) active-prefetching thread, if enabled.
 	active *activeState
 
+	// l1MissPool recycles l1Miss records; l2Miss records are NOT
+	// pooled, because a push can complete a miss while a demand-reply
+	// event still holds its pointer.
+	l1MissPool sim.Pool[l1Miss]
+
+	// ulmtEmits and activeEmits buffer one session's emitted prefetch
+	// lines. Reuse is safe because each deposit event fires before
+	// the next session of its thread begins (the deposit never
+	// schedules later than the session-end event, and wins same-cycle
+	// FIFO when they tie). collectULMT is the once-allocated emit
+	// callback handed to the prefetch algorithm; ulmtObs is the
+	// observed line it filters out.
+	ulmtEmits   []mem.Line
+	activeEmits []mem.Line
+	collectULMT func(mem.Line)
+	ulmtObs     mem.Line
+
 	// Outstanding-miss bookkeeping.
 	pendingL1 map[mem.Line]*l1Miss
 	pendingL2 map[mem.Line]*l2Miss
@@ -87,11 +104,20 @@ type System struct {
 }
 
 // l1Miss tracks one outstanding L1 miss and the processor requests
-// merged into it.
+// merged into it. Records recycle through System.l1MissPool: one is
+// referenced only by pendingL1 between Get and Put, so pooling cannot
+// leave a stale pointer in a scheduled event.
 type l1Miss struct {
 	mshrID  int
 	write   bool
-	waiters []func(cpu.Level)
+	waiters []l1Waiter
+}
+
+// l1Waiter is one processor request merged into an L1 miss: the
+// completer and the request id it expects back.
+type l1Waiter struct {
+	done cpu.Completer
+	id   uint64
 }
 
 // l2Miss tracks one outstanding L2 miss: the request travelling to
@@ -116,7 +142,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
+	eng := sim.NewEngineWithKernel(cfg.Kernel)
 	d, err := dram.New(cfg.DRAM)
 	if err != nil {
 		return nil, err
@@ -160,6 +186,11 @@ func NewSystem(cfg Config) (*System, error) {
 		pendingL1: make(map[mem.Line]*l1Miss),
 		pendingL2: make(map[mem.Line]*l2Miss),
 		missDist:  stats.MissDistanceHistogram(),
+	}
+	s.collectULMT = func(l mem.Line) {
+		if l != s.ulmtObs {
+			s.ulmtEmits = append(s.ulmtEmits, l)
+		}
 	}
 	s.ulmt = cfg.ULMT
 	if cfg.ULMT != nil || cfg.Active != nil {
@@ -275,6 +306,7 @@ func (s *System) results(app string) Results {
 		Faults:               s.inj,
 		DegradedSheds:        s.degradedSheds,
 		DegradedDrops:        s.degradedDropped,
+		CacheFP:              s.CacheFingerprint(),
 		OpsRetired:           s.proc.Retired,
 		CPUIssueCycles:       s.proc.IssueCycles,
 		CPUComputeCycles:     s.proc.ComputeCycles,
@@ -296,17 +328,18 @@ func (s *System) results(app string) Results {
 // --- cpu.Memory implementation: the cache hierarchy front door ---
 
 // Load implements cpu.Memory.
-func (s *System) Load(a mem.Addr, done func(cpu.Level)) { s.access(a, false, done) }
+func (s *System) Load(a mem.Addr, id uint64, done cpu.Completer) { s.access(a, false, id, done) }
 
 // Store implements cpu.Memory. Stores are write-allocate: a miss
 // fetches the line like a load before dirtying it.
-func (s *System) Store(a mem.Addr, done func(cpu.Level)) { s.access(a, true, done) }
+func (s *System) Store(a mem.Addr, id uint64, done cpu.Completer) { s.access(a, true, id, done) }
 
-func (s *System) access(va mem.Addr, write bool, done func(cpu.Level)) {
+func (s *System) access(va mem.Addr, write bool, id uint64, done cpu.Completer) {
 	pa := s.mapper.Translate(va)
 	l1l := mem.LineOf(pa, s.cfg.L1.Line)
 	if s.l1.Access(l1l, write).Hit {
-		s.eng.After(s.cfg.L1HitRT, func() { done(cpu.LevelL1) })
+		s.eng.ScheduleAfter(s.cfg.L1HitRT, s, evDone,
+			sim.Event{I0: id, I1: uint64(cpu.LevelL1), P: done})
 		return
 	}
 	// L1 demand miss: the processor-side prefetcher observes it.
@@ -315,7 +348,7 @@ func (s *System) access(va mem.Addr, write bool, done func(cpu.Level)) {
 			s.issuePrefetchIntoL1(pl)
 		}
 	}
-	s.missToL2(l1l, write, false, done)
+	s.missToL2(l1l, write, false, id, done)
 }
 
 // issuePrefetchIntoL1 injects one processor-side prefetch: it walks
@@ -333,35 +366,36 @@ func (s *System) issuePrefetchIntoL1(l1l mem.Line) {
 		// yield when the MSHR file is nearly full.
 		return
 	}
-	s.missToL2(l1l, false, true, nil)
+	s.missToL2(l1l, false, true, 0, nil)
 }
 
 // missToL2 handles an L1 miss (demand or prefetch): merge into an
 // existing L1 MSHR, consult the L2 after the lookup delay, and on an
 // L2 miss send the request to memory.
-func (s *System) missToL2(l1l mem.Line, write, isPrefetch bool, done func(cpu.Level)) {
+func (s *System) missToL2(l1l mem.Line, write, isPrefetch bool, reqID uint64, done cpu.Completer) {
 	if m, ok := s.pendingL1[l1l]; ok {
 		if done != nil {
-			m.waiters = append(m.waiters, done)
+			m.waiters = append(m.waiters, l1Waiter{done: done, id: reqID})
 		}
 		if write {
 			m.write = true
 		}
 		return
 	}
-	id, ok := s.l1.AllocMSHR(l1l, isPrefetch)
+	mshrID, ok := s.l1.AllocMSHR(l1l, isPrefetch)
 	if !ok {
 		if isPrefetch {
 			return // drop the prefetch
 		}
 		// Structural stall: retry shortly. The CPU's pending-load
-		// bound keeps this path rare.
-		s.eng.After(2, func() { s.missToL2(l1l, write, isPrefetch, done) })
+		// bound keeps this path rare (closure shim is fine here).
+		s.eng.After(2, func() { s.missToL2(l1l, write, isPrefetch, reqID, done) })
 		return
 	}
-	m := &l1Miss{mshrID: id, write: write}
+	m := s.l1MissPool.Get()
+	*m = l1Miss{mshrID: mshrID, write: write, waiters: m.waiters[:0]}
 	if done != nil {
-		m.waiters = append(m.waiters, done)
+		m.waiters = append(m.waiters, l1Waiter{done: done, id: reqID})
 	}
 	s.pendingL1[l1l] = m
 
@@ -370,7 +404,8 @@ func (s *System) missToL2(l1l mem.Line, write, isPrefetch bool, done func(cpu.Le
 	if res.Hit {
 		// FirstPrefetchTouch events surface through the L2 cache
 		// stats as Fig 9 Hits; see results().
-		s.eng.After(s.cfg.L2HitRT, func() { s.completeL1(l1l, cpu.LevelL2) })
+		s.eng.ScheduleAfter(s.cfg.L2HitRT, s, evCompleteL1,
+			sim.Event{I0: uint64(l1l), I1: uint64(cpu.LevelL2)})
 		return
 	}
 	// L2 miss: merge into an outstanding line request if any. The
@@ -397,15 +432,11 @@ func (s *System) sendToMemory(l1l, l2l mem.Line, write, isPrefetch bool, lookupD
 		s.pendingL2[l2l] = pm
 	}
 	pm.waiters = append(pm.waiters, l2Waiter{l1Line: l1l, write: write})
-	kind := bus.Demand
+	var prefetchClass uint64
 	if isPrefetch {
-		kind = bus.Prefetch
+		prefetchClass = 1
 	}
-	s.eng.After(lookupDelay, func() {
-		s.fsb.TransferRequest(kind, func(done sim.Cycle) {
-			s.eng.At(done+s.cfg.CtrlOverhead, func() { s.arriveController(pm) })
-		})
-	})
+	s.eng.ScheduleAfter(lookupDelay, s, evSendReq, sim.Event{I0: prefetchClass, P: pm})
 }
 
 // retryL2Miss re-attempts MSHR allocation for an L1 miss whose L2
@@ -438,8 +469,11 @@ func (s *System) completeL1(l1l mem.Line, lvl cpu.Level) {
 	s.l1.Fill(l1l, m.write, len(m.waiters) == 0)
 	s.drainL1Writebacks()
 	for _, w := range m.waiters {
-		w(lvl)
+		w.done.Complete(w.id, lvl)
 	}
+	// Completions above only schedule events; nothing re-enters the
+	// miss path synchronously, so the record is free to recycle.
+	s.l1MissPool.Put(m)
 }
 
 // drainL1Writebacks moves dirty L1 victims into the L2 (or onward to

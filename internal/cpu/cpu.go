@@ -40,14 +40,28 @@ const (
 	LevelMem
 )
 
-// Memory is the processor's view of the memory hierarchy. Both calls
-// complete asynchronously: done fires as a simulation event with the
-// level that satisfied the request. Implementations must never call
-// done synchronously from within Load/Store.
-type Memory interface {
-	Load(a mem.Addr, done func(Level))
-	Store(a mem.Addr, done func(Level))
+// Completer receives asynchronous memory completions. The id is the
+// one the processor passed to Load or Store, so a single long-lived
+// Completer (the processor itself) serves every outstanding request
+// without a per-request closure.
+type Completer interface {
+	Complete(id uint64, lvl Level)
 }
+
+// Memory is the processor's view of the memory hierarchy. Both calls
+// complete asynchronously: done.Complete(id, lvl) fires as a
+// simulation event with the level that satisfied the request.
+// Implementations must never complete synchronously from within
+// Load/Store.
+type Memory interface {
+	Load(a mem.Addr, id uint64, done Completer)
+	Store(a mem.Addr, id uint64, done Completer)
+}
+
+// storeIDFlag marks a request id as a store completion. Load ids are
+// a simple counter and never reach the flag bit within any feasible
+// simulation length.
+const storeIDFlag uint64 = 1 << 63
 
 // Config sizes the processor model.
 type Config struct {
@@ -150,8 +164,18 @@ func New(eng *sim.Engine, cfg Config, m Memory, ops []workload.Op) (*Processor, 
 func (p *Processor) Start(onDone func()) {
 	p.onDone = onDone
 	p.startAt = p.eng.Now()
-	p.eng.After(0, p.step)
+	p.scheduleStep(0)
 }
+
+// scheduleStep enqueues the next issue cycle as a typed self-event:
+// the processor is its own sim.Actor, so the issue loop schedules
+// allocation-free.
+func (p *Processor) scheduleStep(d sim.Cycle) {
+	p.eng.ScheduleAfter(d, p, 0, sim.Event{})
+}
+
+// Fire implements sim.Actor: every self-event is an issue-cycle tick.
+func (p *Processor) Fire(_ sim.Kind, _ sim.Event) { p.step() }
 
 // Pause preempts the processor at the next issue boundary: no new
 // ops issue until Resume. In-flight memory requests keep completing
@@ -166,7 +190,7 @@ func (p *Processor) Resume() {
 	}
 	p.paused = false
 	if p.blocked == notBlocked {
-		p.eng.After(0, p.step)
+		p.scheduleStep(0)
 	}
 	// If blocked, the pending completion callback will restart the
 	// issue loop as usual.
@@ -196,7 +220,7 @@ func (p *Processor) step() {
 				w = 1
 			}
 			p.ComputeCycles += uint64(w)
-			p.eng.After(w, p.step)
+			p.scheduleStep(w)
 			return
 		case workload.Load:
 			if op.Dep && !p.lastLoadDone {
@@ -231,7 +255,7 @@ func (p *Processor) step() {
 		return
 	}
 	p.IssueCycles++
-	p.eng.After(1, p.step)
+	p.scheduleStep(1)
 }
 
 func (p *Processor) windowFull() bool {
@@ -255,12 +279,22 @@ func (p *Processor) issueLoad(a mem.Addr) {
 	p.lastLoadDone = false
 	p.pendingLoads++
 	p.inflight = append(p.inflight, inflightLoad{id: id, opIdx: p.pc})
-	p.mem.Load(a, func(lvl Level) { p.loadDone(id, lvl) })
+	p.mem.Load(a, id, p)
 }
 
 func (p *Processor) issueStore(a mem.Addr) {
 	p.pendingStores++
-	p.mem.Store(a, func(lvl Level) { p.storeDone(lvl) })
+	p.mem.Store(a, storeIDFlag, p)
+}
+
+// Complete implements Completer, routing memory completions back to
+// the load/store bookkeeping.
+func (p *Processor) Complete(id uint64, lvl Level) {
+	if id&storeIDFlag != 0 {
+		p.storeDone(lvl)
+		return
+	}
+	p.loadDone(id, lvl)
 }
 
 func (p *Processor) loadDone(id uint64, lvl Level) {
@@ -321,7 +355,7 @@ func (p *Processor) unblock(lvl Level) {
 	}
 	p.blocked = notBlocked
 	if !p.paused {
-		p.eng.After(0, p.step)
+		p.scheduleStep(0)
 	}
 }
 

@@ -26,16 +26,16 @@ func newFakeMem(eng *sim.Engine) *fakeMem {
 	}
 }
 
-func (f *fakeMem) Load(a mem.Addr, done func(Level)) {
+func (f *fakeMem) Load(a mem.Addr, id uint64, done Completer) {
 	f.loads++
 	lvl := f.levelOf(a)
-	f.eng.After(f.lat[lvl], func() { done(lvl) })
+	f.eng.After(f.lat[lvl], func() { done.Complete(id, lvl) })
 }
 
-func (f *fakeMem) Store(a mem.Addr, done func(Level)) {
+func (f *fakeMem) Store(a mem.Addr, id uint64, done Completer) {
 	f.stores++
 	lvl := f.levelOf(a)
-	f.eng.After(f.lat[lvl], func() { done(lvl) })
+	f.eng.After(f.lat[lvl], func() { done.Complete(id, lvl) })
 }
 
 func run(t *testing.T, ops []workload.Op, setup func(*fakeMem)) (*Processor, *fakeMem, *sim.Engine) {

@@ -15,6 +15,7 @@ import (
 	"ulmt/internal/mem"
 	"ulmt/internal/memproc"
 	"ulmt/internal/prefetch"
+	"ulmt/internal/sim"
 	"ulmt/internal/table"
 	"ulmt/internal/trace"
 	"ulmt/internal/workload"
@@ -51,6 +52,10 @@ type Options struct {
 	// schedule into every simulated run of this invocation, so any
 	// table or figure can be regenerated under degraded conditions.
 	Faults *fault.Plan
+	// Kernel selects the event-queue backend for every run (zero
+	// value: the default wheel). Exists for the kernel-equivalence
+	// suite; reports are bit-identical across backends.
+	Kernel sim.Kernel
 }
 
 func (o Options) apps() []string {
@@ -189,6 +194,7 @@ func (r *Runner) BuildConfig(app, label string) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Seed = r.opt.Seed
 	cfg.Faults = r.opt.Faults
+	cfg.Kernel = r.opt.Kernel
 	rows := r.NumRows(app)
 
 	newRepl := func(levels int) prefetch.Algorithm {

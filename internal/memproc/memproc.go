@@ -112,6 +112,7 @@ type MemProc struct {
 	cache *cache.Cache
 	dram  *dram.DRAM
 	st    stats.ULMTStats
+	pool  sim.Pool[Session]
 }
 
 // New builds a memory processor over the shared DRAM, or reports why
@@ -159,7 +160,9 @@ type Session struct {
 
 // Begin opens an accounting session at simulation time now.
 func (mp *MemProc) Begin(now sim.Cycle) *Session {
-	return &Session{mp: mp, start: now}
+	s := mp.pool.Get()
+	*s = Session{mp: mp, start: now}
+	return s
 }
 
 // Instr implements table.Sink: n instructions at the core's rate.
@@ -227,7 +230,10 @@ func (s *Session) Elapsed() sim.Cycle { return s.busy + s.memt }
 // Response is the prefetching-step time (after MarkResponse).
 func (s *Session) Response() sim.Cycle { return s.respBusy + s.respMem }
 
-// Finish folds the session into the running statistics.
+// Finish folds the session into the running statistics and recycles
+// the record: the session is dead after this call, so callers must
+// read Elapsed/Response before finishing, and must not retain the
+// pointer.
 func (mp *MemProc) Finish(s *Session) {
 	if !s.marked {
 		s.MarkResponse()
@@ -238,6 +244,7 @@ func (mp *MemProc) Finish(s *Session) {
 	mp.st.OccupancyBusy += s.busy
 	mp.st.OccupancyMem += s.memt
 	mp.st.Instructions += s.inst
+	mp.pool.Put(s)
 }
 
 // PrefetchIssueDelay is the extra latency before a ULMT prefetch

@@ -24,3 +24,80 @@ func BenchmarkEngineFanOut(b *testing.B) {
 	b.ResetTimer()
 	e.Run()
 }
+
+// BenchmarkEngineTypedChain is the zero-allocation steady state: a
+// long-lived actor rescheduling itself through the typed API.
+func BenchmarkEngineTypedChain(b *testing.B) {
+	e := NewEngine()
+	a := &benchActor{eng: e, d: 1, limit: b.N}
+	e.Schedule(0, a, 1, Event{})
+	e.Run()
+}
+
+type benchActor struct {
+	eng   *Engine
+	d     Cycle
+	n     int
+	limit int
+}
+
+func (a *benchActor) Fire(kind Kind, ev Event) {
+	a.n++
+	if a.n < a.limit {
+		a.eng.ScheduleAfter(a.d, a, kind, ev)
+	}
+}
+
+// mixedHorizons is the latency profile of a real run: mostly cache
+// and bus latencies, some DRAM, occasional ULMT sessions, and rare
+// far-future events that exercise the overflow heap.
+var mixedHorizons = [16]Cycle{
+	1, 3, 2, 19, 5, 146, 1, 40, 2, 181, 3, 3000, 1, 19, 5, 120000,
+}
+
+// BenchmarkEngineMixedHorizon schedules through the full horizon mix,
+// including overflow spills and window advances.
+func BenchmarkEngineMixedHorizon(b *testing.B) {
+	e := NewEngine()
+	a := &mixedActor{eng: e, limit: b.N}
+	e.Schedule(0, a, 0, Event{})
+	e.Run()
+}
+
+type mixedActor struct {
+	eng   *Engine
+	n     int
+	limit int
+}
+
+func (a *mixedActor) Fire(kind Kind, ev Event) {
+	a.n++
+	if a.n < a.limit {
+		a.eng.ScheduleAfter(mixedHorizons[a.n&15], a, kind, ev)
+	}
+}
+
+// BenchmarkEngineMixedHorizonHeap is the same mix on the legacy
+// container/heap backend, for before/after comparison.
+func BenchmarkEngineMixedHorizonHeap(b *testing.B) {
+	e := NewEngineWithKernel(KernelHeap)
+	a := &mixedActor{eng: e, limit: b.N}
+	e.Schedule(0, a, 0, Event{})
+	e.Run()
+}
+
+// BenchmarkEngineFanOutTyped replays the fan-out shape without the
+// closure shim.
+func BenchmarkEngineFanOutTyped(b *testing.B) {
+	e := NewEngine()
+	var a sinkActor
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Cycle(i%1024), &a, 0, Event{})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+type sinkActor struct{ n int }
+
+func (a *sinkActor) Fire(kind Kind, ev Event) { a.n++ }

@@ -10,89 +10,210 @@
 // Events scheduled for the same cycle fire in the order they were
 // scheduled, which keeps every simulation run bit-for-bit
 // reproducible regardless of map iteration order or GC timing.
+//
+// # Scheduling without allocating
+//
+// The hot path of every run is this queue: one simulated L2 miss
+// costs tens of events (pipeline stalls, bus slots, controller
+// queues, DRAM banks, ULMT sessions). Two APIs schedule them:
+//
+//   - Schedule/ScheduleAfter deliver a typed (Kind, Event) pair to a
+//     long-lived Actor. Nothing escapes: the event payload rides in
+//     two integers and a pointer-shaped field, so steady-state
+//     scheduling performs zero heap allocations.
+//   - At/After wrap a closure. Each call allocates the closure, so
+//     these remain only as a shim for genuinely one-off events
+//     (startup, rare retries, test scaffolding).
+//
+// Events are stored in a hierarchical time-bucket wheel (see
+// wheel.go) sized for the short bounded latencies that dominate a
+// memory-system simulation, with a spill heap for far-future events
+// such as multiprogramming timeslices.
 package sim
-
-import "container/heap"
 
 // Cycle is a point in simulated time, in 1.6 GHz main-processor
 // cycles. It is signed so that subtraction is safe in intermediate
 // expressions; the engine never runs at negative time.
 type Cycle int64
 
-// Forever is a sentinel meaning "no deadline".
+// Forever is a sentinel meaning "no deadline". It is the largest
+// cycle the engine will ever schedule at: At clamps beyond it and
+// After saturates instead of overflowing, so `After(Forever - now)`
+// style arithmetic is safe at any current time.
 const Forever Cycle = 1<<62 - 1
 
+// Kind discriminates the typed events of one Actor. Each component
+// defines its own compact enum; kinds are meaningless across actors.
+type Kind uint32
+
+// Event is the payload delivered to an Actor. Two integer slots and
+// one pointer-shaped slot cover every event in the simulator: line
+// addresses and ids travel in I0/I1, record pointers in P. Storing a
+// pointer (or an interface holding a pointer) in P does not allocate;
+// only boxing a non-pointer value would, and no call site does.
+type Event struct {
+	I0, I1 uint64
+	P      any
+}
+
+// Actor receives typed events. Implementations are long-lived
+// simulation components (the core system, the bus, a processor), so
+// scheduling against them allocates nothing.
+type Actor interface {
+	Fire(kind Kind, ev Event)
+}
+
+// event is the internal queue entry. actor == nil marks a closure
+// event (the At/After shim); otherwise fn is unused.
 type event struct {
-	at  Cycle
-	seq uint64
-	fn  func()
+	at     Cycle
+	seq    uint64
+	kind   Kind
+	i0, i1 uint64
+	p      any
+	actor  Actor
+	fn     func()
 }
 
-type eventHeap []event
+// Kernel selects the event-queue backend.
+type Kernel int
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+const (
+	// KernelWheel is the default: the allocation-free bucket wheel
+	// with a spill heap (wheel.go).
+	KernelWheel Kernel = iota
+	// KernelHeap is the original container/heap queue (legacy.go),
+	// kept as the reference implementation for equivalence tests. It
+	// boxes every push and pop.
+	KernelHeap
+)
 
 // Engine is the event-driven simulation kernel. The zero value is not
 // usable; construct with NewEngine.
+//
+// Invariants, relied on throughout the simulator:
+//
+//   - Now never decreases. Step sets it to the fired event's cycle;
+//     RunUntil additionally advances it to the deadline when the
+//     queue runs dry early.
+//   - Events at the same cycle fire in scheduling order (FIFO),
+//     regardless of backend.
+//   - Fired counts exactly the events executed; RunUntil advancing
+//     the clock past quiet cycles does not increment it, so
+//     Fired+Pending is conserved by pure time passage.
 type Engine struct {
 	now    Cycle
 	seq    uint64
-	events eventHeap
 	fired  uint64
+	wheel  wheel
+	legacy *legacyHeap
 }
 
-// NewEngine returns an engine at cycle 0 with an empty event queue.
-func NewEngine() *Engine {
+// NewEngine returns an engine at cycle 0 with an empty event queue,
+// on the default (wheel) backend.
+func NewEngine() *Engine { return NewEngineWithKernel(KernelWheel) }
+
+// NewEngineWithKernel returns an engine on an explicit backend.
+// Both backends are observationally identical (proven by the
+// equivalence suite); KernelHeap exists so tests can cross-check.
+func NewEngineWithKernel(k Kernel) *Engine {
 	e := &Engine{}
-	heap.Init(&e.events)
+	if k == KernelHeap {
+		e.legacy = newLegacyHeap()
+	}
 	return e
 }
 
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
-// At schedules fn to run at cycle c. Scheduling in the past is a
-// programming error and panics, because it would silently corrupt
-// causality in the pipeline models.
-func (e *Engine) At(c Cycle, fn func()) {
+// push time-stamps and enqueues an internal event.
+func (e *Engine) push(c Cycle, ev event) {
 	if c < e.now {
 		panic("sim: event scheduled in the past")
 	}
+	if c > Forever {
+		c = Forever
+	}
 	e.seq++
-	e.events.pushEvent(event{at: c, seq: e.seq, fn: fn})
+	ev.at = c
+	ev.seq = e.seq
+	if e.legacy != nil {
+		e.legacy.push(ev)
+	} else {
+		e.wheel.push(ev)
+	}
 }
 
-// After schedules fn to run d cycles from now.
-func (e *Engine) After(d Cycle, fn func()) {
+// saturate returns now+d, clamped to Forever on overflow. Negative
+// delays are a programming error and panic, because they would
+// silently corrupt causality in the pipeline models.
+func (e *Engine) saturate(d Cycle) Cycle {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	e.At(e.now+d, fn)
+	if d > Forever-e.now {
+		return Forever
+	}
+	return e.now + d
+}
+
+// Schedule delivers (kind, ev) to actor a at cycle c. This is the
+// zero-allocation path; a must be a long-lived component.
+// Scheduling in the past panics.
+func (e *Engine) Schedule(c Cycle, a Actor, kind Kind, ev Event) {
+	e.push(c, event{kind: kind, i0: ev.I0, i1: ev.I1, p: ev.P, actor: a})
+}
+
+// ScheduleAfter delivers (kind, ev) to actor a, d cycles from now,
+// saturating at Forever.
+func (e *Engine) ScheduleAfter(d Cycle, a Actor, kind Kind, ev Event) {
+	e.Schedule(e.saturate(d), a, kind, ev)
+}
+
+// At schedules fn to run at cycle c. Scheduling in the past is a
+// programming error and panics, because it would silently corrupt
+// causality in the pipeline models. Each call allocates the closure:
+// use Schedule on hot paths.
+func (e *Engine) At(c Cycle, fn func()) {
+	e.push(c, event{fn: fn})
+}
+
+// After schedules fn to run d cycles from now, saturating at Forever
+// so that `After(Forever - now)` call sites cannot overflow.
+func (e *Engine) After(d Cycle, fn func()) {
+	e.At(e.saturate(d), fn)
 }
 
 // Step fires the next event, advancing the clock to its cycle. It
 // reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	if e.events.Len() == 0 {
+	var ev event
+	var ok bool
+	if e.legacy != nil {
+		ev, ok = e.legacy.pop()
+	} else {
+		ev, ok = e.wheel.pop()
+	}
+	if !ok {
 		return false
 	}
-	ev := e.events.popEvent()
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	if ev.actor != nil {
+		ev.actor.Fire(ev.kind, Event{I0: ev.i0, I1: ev.i1, P: ev.p})
+	} else {
+		ev.fn()
+	}
 	return true
+}
+
+// peekAt returns the cycle of the earliest pending event.
+func (e *Engine) peekAt() (Cycle, bool) {
+	if e.legacy != nil {
+		return e.legacy.peekAt()
+	}
+	return e.wheel.peekAt()
 }
 
 // Run fires events until the queue drains.
@@ -101,20 +222,38 @@ func (e *Engine) Run() {
 	}
 }
 
-// RunUntil fires events whose time is <= deadline, then stops with the
-// clock at min(deadline, last event time). Events scheduled beyond the
-// deadline remain queued.
+// RunUntil fires events whose time is <= deadline, then stops with
+// the clock at max(now, deadline): if the queue drains (or only
+// later events remain) before the deadline, the clock still advances
+// to it, so repeated RunUntil calls see monotonic time. Events
+// scheduled beyond the deadline remain queued, and Fired counts only
+// events actually executed — idle time passing never increments it.
 func (e *Engine) RunUntil(deadline Cycle) {
-	for e.events.Len() > 0 && e.events.peek().at <= deadline {
+	for {
+		t, ok := e.peekAt()
+		if !ok || t > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline
+		if e.legacy == nil {
+			// No pending event is earlier than the deadline, so the
+			// wheel window can jump forward wholesale (spilling any
+			// overflow events that fall into the new window).
+			e.wheel.advanceTo(deadline)
+		}
 	}
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int {
+	if e.legacy != nil {
+		return e.legacy.len()
+	}
+	return e.wheel.len()
+}
 
 // Fired reports the total number of events executed, a cheap progress
 // and regression metric for tests and benchmarks.

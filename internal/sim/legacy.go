@@ -1,0 +1,56 @@
+package sim
+
+import "container/heap"
+
+// legacyHeap is the original event queue: a container/heap priority
+// queue ordered on (at, seq). It survives as the reference backend
+// for the kernel-equivalence suite — container/heap's any-typed
+// interface boxes every event on push and pop, which is exactly the
+// cost the wheel removes.
+type legacyHeap struct {
+	ev eventHeap
+}
+
+func newLegacyHeap() *legacyHeap {
+	h := &legacyHeap{}
+	heap.Init(&h.ev)
+	return h
+}
+
+func (h *legacyHeap) len() int { return h.ev.Len() }
+
+func (h *legacyHeap) push(ev event) { heap.Push(&h.ev, ev) }
+
+func (h *legacyHeap) pop() (event, bool) {
+	if h.ev.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&h.ev).(event), true
+}
+
+func (h *legacyHeap) peekAt() (Cycle, bool) {
+	if h.ev.Len() == 0 {
+		return 0, false
+	}
+	return h.ev[0].at, true
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}

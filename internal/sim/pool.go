@@ -1,0 +1,33 @@
+package sim
+
+// Pool is a free list for short-lived simulation records (miss
+// entries, ULMT sessions) that would otherwise be re-allocated for
+// every simulated miss. It is deliberately not concurrency-safe: each
+// Engine is single-threaded, and its components recycle records
+// strictly within that thread.
+//
+// Get returns a recycled record without zeroing it — callers reset
+// fields themselves (typically `*r = Record{...}`). After Put, the
+// caller must hold no reference to the record: events still in
+// flight that point at a pooled record are use-after-free bugs in
+// miniature, corrupting determinism rather than memory.
+type Pool[T any] struct {
+	free []*T
+}
+
+// Get pops a recycled record, or allocates a fresh one when the free
+// list is empty.
+func (p *Pool[T]) Get() *T {
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return v
+	}
+	return new(T)
+}
+
+// Put recycles a record for a later Get.
+func (p *Pool[T]) Put(v *T) {
+	p.free = append(p.free, v)
+}

@@ -42,6 +42,12 @@ func NewBase(p Params, base mem.Addr) *BaseTable {
 	t.setMask = uint64(nsets - 1)
 	t.sets = make([][]baseRow, nsets)
 	rows := make([]baseRow, p.NumRows)
+	// Every successor list is bounded by NumSucc, so all of them are
+	// carved out of one backing array up front: Learn never allocates.
+	succs := make([]mem.Line, p.NumRows*p.NumSucc)
+	for i := range rows {
+		rows[i].succ = succs[i*p.NumSucc : i*p.NumSucc : (i+1)*p.NumSucc]
+	}
 	for i := range t.sets {
 		t.sets[i] = rows[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
 	}
@@ -175,7 +181,8 @@ func (t *BaseTable) Stats() Stats { return t.st }
 func (t *BaseTable) Reset() {
 	for si := range t.sets {
 		for wi := range t.sets[si] {
-			t.sets[si][wi] = baseRow{}
+			// Keep the preallocated successor backing.
+			t.sets[si][wi] = baseRow{succ: t.sets[si][wi].succ[:0]}
 		}
 	}
 	t.hasLast = false

@@ -63,6 +63,20 @@ func NewRepl(p Params, base mem.Addr) *ReplTable {
 	t.setMask = uint64(nsets - 1)
 	t.sets = make([][]replRow, nsets)
 	rows := make([]replRow, p.NumRows)
+	// Pre-carve every row's level lists (NumLevels each, NumSucc cap)
+	// out of two backing arrays so steady-state Learn never allocates.
+	// Relocate may still nil a slot's levels; findOrAlloc re-makes
+	// those on its rare path.
+	levels := make([][]mem.Line, p.NumRows*p.NumLevels)
+	succs := make([]mem.Line, p.NumRows*p.NumLevels*p.NumSucc)
+	for i := range rows {
+		lv := levels[i*p.NumLevels : (i+1)*p.NumLevels : (i+1)*p.NumLevels]
+		for j := range lv {
+			off := (i*p.NumLevels + j) * p.NumSucc
+			lv[j] = succs[off : off : off+p.NumSucc]
+		}
+		rows[i].levels = lv
+	}
 	for i := range t.sets {
 		t.sets[i] = rows[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
 	}
@@ -275,7 +289,13 @@ func (t *ReplTable) Stats() Stats { return t.st }
 func (t *ReplTable) Reset() {
 	for si := range t.sets {
 		for wi := range t.sets[si] {
-			t.sets[si][wi] = replRow{}
+			// Keep the preallocated level backing (nil for slots
+			// vacated by Relocate, which findOrAlloc re-sizes).
+			lv := t.sets[si][wi].levels
+			for i := range lv {
+				lv[i] = lv[i][:0]
+			}
+			t.sets[si][wi] = replRow{levels: lv}
 		}
 	}
 	for i := range t.last {
