@@ -9,12 +9,20 @@
 //	        [-scale tiny|small|medium|large] [-apps CG,Mcf,...] [-seed N]
 //	        [-j N] [-faults off|light|heavy|k=v,...] [-fault-seed N]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	        [-gcpercent N] [-memlimit BYTES] [-bench-json FILE]
 //
 // The profiling flags wrap the whole run in the standard pprof /
 // runtime-trace collectors: -cpuprofile and -trace record while the
 // matrix executes, -memprofile snapshots the heap after it finishes
 // (after a GC, so it shows live retention, not garbage). Inspect with
 // `go tool pprof` / `go tool trace`.
+//
+// The host runtime's GC is observable and steerable: -gcpercent and
+// -memlimit forward to debug.SetGCPercent / debug.SetMemoryLimit, the
+// report ends with a "# host:" footer line (peak heap, GC cycles and
+// pause, wall clock), and -bench-json writes those numbers plus a
+// SHA-256 of the report to FILE for machine-readable perf tracking
+// (see BENCH_ulmt.json at the repository root).
 //
 // The run matrix of the requested experiments is pre-planned and
 // executed on -j parallel workers (default: GOMAXPROCS) with live
@@ -28,10 +36,14 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
@@ -63,7 +75,17 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
+	gcPercent := flag.Int("gcpercent", -1, "set the host GC target percentage (debug.SetGCPercent); -1 leaves GOGC alone")
+	memLimit := flag.Int64("memlimit", 0, "set a soft host heap limit in bytes (debug.SetMemoryLimit); 0 leaves it alone")
+	benchJSON := flag.String("bench-json", "", "write headline run metrics as JSON to this file")
 	flag.Parse()
+
+	if *gcPercent >= 0 {
+		debug.SetGCPercent(*gcPercent)
+	}
+	if *memLimit > 0 {
+		debug.SetMemoryLimit(*memLimit)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -135,6 +157,9 @@ func run() error {
 	}
 	r := experiment.NewRunner(opt)
 
+	hw := newHeapWatch()
+	start := time.Now()
+
 	// Pre-plan the full run matrix and execute it on the worker pool;
 	// rendering below then only reads completed results. The report
 	// bytes are identical at any -j (see the equivalence suite).
@@ -144,12 +169,112 @@ func run() error {
 		r.ExecuteAll(keys, *jobs, p.update)
 		p.finish()
 	}
+	// Hash the report as it streams to stdout so -bench-json can
+	// fingerprint exactly what was printed.
+	sum := sha256.New()
+	var out io.Writer = os.Stdout
+	if *benchJSON != "" {
+		out = io.MultiWriter(os.Stdout, sum)
+	}
 	for _, e := range exps {
-		if err := r.Render(os.Stdout, e); err != nil {
+		if err := r.Render(out, e); err != nil {
 			return err
 		}
 	}
+	wall := time.Since(start)
+	m := hw.stop()
+
+	// Host footer: how the simulator itself behaved, not the simulated
+	// machine. Kept off the hashed report body and easy to strip
+	// (single "# host:" prefix) so report diffs across runs stay clean.
+	fmt.Printf("# host: peak heap %.1f MiB, GC cycles %d, GC pause %s, wall %s\n",
+		float64(m.peakHeap)/(1<<20), m.gcCycles,
+		time.Duration(m.gcPauseNs).Round(time.Microsecond), wall.Round(time.Millisecond))
+
+	if *benchJSON != "" {
+		b, err := json.MarshalIndent(benchRecord{
+			Exp:          *exp,
+			Scale:        scale.String(),
+			Seed:         *seed,
+			Jobs:         *jobs,
+			Runs:         len(keys),
+			WallSeconds:  wall.Seconds(),
+			PeakHeapMiB:  float64(m.peakHeap) / (1 << 20),
+			GCCycles:     m.gcCycles,
+			GCPauseMs:    float64(m.gcPauseNs) / 1e6,
+			ReportSHA256: fmt.Sprintf("%x", sum.Sum(nil)),
+		}, "", "  ")
+		if err != nil {
+			return fmt.Errorf("ulmtsim: -bench-json: %w", err)
+		}
+		if err := os.WriteFile(*benchJSON, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("ulmtsim: -bench-json: %w", err)
+		}
+	}
 	return nil
+}
+
+// benchRecord is the machine-readable summary -bench-json emits; the
+// BENCH_ulmt.json trajectory file at the repo root collects these.
+type benchRecord struct {
+	Exp          string  `json:"exp"`
+	Scale        string  `json:"scale"`
+	Seed         uint64  `json:"seed"`
+	Jobs         int     `json:"jobs"`
+	Runs         int     `json:"runs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	PeakHeapMiB  float64 `json:"peak_heap_mib"`
+	GCCycles     uint32  `json:"gc_cycles"`
+	GCPauseMs    float64 `json:"gc_pause_ms"`
+	ReportSHA256 string  `json:"report_sha256"`
+}
+
+// heapWatch samples the live heap to report its peak: Go exposes GC
+// cycle and pause totals directly, but peak heap only through
+// observation.
+type heapWatch struct {
+	stopCh chan struct{}
+	doneCh chan struct{}
+	peak   uint64
+}
+
+type heapMetrics struct {
+	peakHeap  uint64
+	gcCycles  uint32
+	gcPauseNs uint64
+}
+
+func newHeapWatch() *heapWatch {
+	h := &heapWatch{stopCh: make(chan struct{}), doneCh: make(chan struct{})}
+	go func() {
+		defer close(h.doneCh)
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-h.stopCh:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > h.peak {
+					h.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return h
+}
+
+func (h *heapWatch) stop() heapMetrics {
+	close(h.stopCh)
+	<-h.doneCh
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+	return heapMetrics{peakHeap: h.peak, gcCycles: ms.NumGC, gcPauseNs: ms.PauseTotalNs}
 }
 
 // progress prints live run-matrix completion to stderr: runs done,

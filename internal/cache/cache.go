@@ -91,6 +91,8 @@ type Cache struct {
 	setMask uint64
 	mshrs   []MSHR
 	wbq     []mem.Line
+	wbqHead int
+	wbqLen  int
 	tick    uint64
 	st      Stats
 }
@@ -109,9 +111,9 @@ func New(cfg Config) (*Cache, error) {
 		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	c.mshrs = make([]MSHR, cfg.MSHRs)
-	// The write-back queue never exceeds WBQDepth, so one up-front
-	// allocation keeps every later append in place.
-	c.wbq = make([]mem.Line, 0, cfg.WBQDepth)
+	// The write-back queue is a ring over a fixed backing array of
+	// WBQDepth slots: draining advances a head index, never shifts.
+	c.wbq = make([]mem.Line, cfg.WBQDepth)
 	return c, nil
 }
 
@@ -243,8 +245,9 @@ func (c *Cache) Fill(l mem.Line, dirty, prefetched bool) EvictInfo {
 		if w.prefetch {
 			c.st.PrefetchEvictsUnused++
 		}
-		if w.dirty && len(c.wbq) < c.cfg.WBQDepth {
-			c.wbq = append(c.wbq, mem.Line(w.tag))
+		if w.dirty && c.wbqLen < c.cfg.WBQDepth {
+			c.wbq[(c.wbqHead+c.wbqLen)%c.cfg.WBQDepth] = mem.Line(w.tag)
+			c.wbqLen++
 		}
 	}
 	*w = way{tag: tag, valid: true, dirty: dirty, prefetch: prefetched, lastUse: c.tick, filledAt: c.tick}
@@ -345,8 +348,8 @@ func (c *Cache) PendingInSet(l mem.Line) int {
 
 // WBContains reports whether line l is waiting to be written back.
 func (c *Cache) WBContains(l mem.Line) bool {
-	for _, e := range c.wbq {
-		if e == l {
+	for i := 0; i < c.wbqLen; i++ {
+		if c.wbq[(c.wbqHead+i)%c.cfg.WBQDepth] == l {
 			return true
 		}
 	}
@@ -355,17 +358,17 @@ func (c *Cache) WBContains(l mem.Line) bool {
 
 // PopWB removes the oldest pending write-back.
 func (c *Cache) PopWB() (l mem.Line, ok bool) {
-	if len(c.wbq) == 0 {
+	if c.wbqLen == 0 {
 		return 0, false
 	}
-	l = c.wbq[0]
-	copy(c.wbq, c.wbq[1:])
-	c.wbq = c.wbq[:len(c.wbq)-1]
+	l = c.wbq[c.wbqHead]
+	c.wbqHead = (c.wbqHead + 1) % c.cfg.WBQDepth
+	c.wbqLen--
 	return l, true
 }
 
 // WBLen reports the write-back queue depth in use.
-func (c *Cache) WBLen() int { return len(c.wbq) }
+func (c *Cache) WBLen() int { return c.wbqLen }
 
 // --- Push acceptance (§2.1) ---
 

@@ -107,6 +107,9 @@ func (c *Chain) Learn(m mem.Line, s table.Sink) { c.T.Learn(m, s) }
 // NumLevels rows through the last-miss pointers.
 type Repl struct {
 	T *table.ReplTable
+	// view is the reused snapshot buffer for Levels, keeping the
+	// prefetch step allocation-free.
+	view table.LevelView
 }
 
 // NewRepl wraps a Replicated table.
@@ -118,8 +121,11 @@ func (r *Repl) Name() string { return "Repl" }
 // Prefetch implements Algorithm.
 func (r *Repl) Prefetch(m mem.Line, s table.Sink, emit func(mem.Line)) {
 	s.Instr(table.InstrLoop)
-	for _, level := range r.T.Levels(m, s) {
-		for _, l := range level {
+	if !r.T.Levels(m, s, &r.view) {
+		return
+	}
+	for i := 0; i < r.view.NumLevels(); i++ {
+		for _, l := range r.view.Level(i) {
 			emit(l)
 		}
 	}

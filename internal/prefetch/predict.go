@@ -120,9 +120,21 @@ func NewChainPredictor(p table.Params, levels int) Predictor {
 func NewReplPredictor(p table.Params) Predictor {
 	t := table.NewRepl(p, 0)
 	var sink table.NullSink
+	var view table.LevelView
+	out := make([][]mem.Line, p.NumLevels)
 	return newTracked("Repl", p.NumLevels,
 		func(m mem.Line) { t.Learn(m, sink) },
-		func(m mem.Line) [][]mem.Line { return t.Levels(m, sink) })
+		func(m mem.Line) [][]mem.Line {
+			if !t.Levels(m, sink, &view) {
+				return nil
+			}
+			// The level slices stay valid until the next Levels call;
+			// Consume clones them immediately after predict returns.
+			for i := range out {
+				out[i] = view.Level(i)
+			}
+			return out
+		})
 }
 
 // NewSeqPredictor predicts level k as "k lines further along each

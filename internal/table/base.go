@@ -7,24 +7,29 @@ import "ulmt/internal/mem"
 // address and the MRU-ordered set of its observed immediate
 // successors. Base prefetches one row's successors; Chain walks
 // MRU successors across rows for NumLevels levels.
+//
+// Storage is packed and pointer-free: tags, LRU ticks, validity and
+// per-row successor occupancy live in flat parallel arrays, and every
+// successor list is a fixed-stride window into one shared arena. A
+// 2M-row table is a handful of large pointer-free allocations the Go
+// GC never scans, instead of millions of slice headers; a row access
+// is one or two contiguous cache-line reads.
 type BaseTable struct {
 	p        Params
-	sets     [][]baseRow
 	setMask  uint64
 	base     mem.Addr
 	rowBytes int
+
+	tags  []mem.Line // per row
+	lru   []uint64   // per row
+	valid []bool     // per row
+	cnt   []uint8    // per row: successors in use
+	succ  []mem.Line // arena, stride p.NumSucc per row
 
 	lastMiss mem.Line
 	hasLast  bool
 	tick     uint64
 	st       Stats
-}
-
-type baseRow struct {
-	tag   mem.Line
-	valid bool
-	lru   uint64
-	succ  []mem.Line // MRU order; index 0 most recent
 }
 
 // NewBase builds an empty table whose rows are laid out in simulated
@@ -37,19 +42,12 @@ func NewBase(p Params, base mem.Addr) *BaseTable {
 		p:        p,
 		base:     base,
 		rowBytes: tagWordBytes + p.NumSucc*succWordBytes,
-	}
-	nsets := p.NumRows / p.Assoc
-	t.setMask = uint64(nsets - 1)
-	t.sets = make([][]baseRow, nsets)
-	rows := make([]baseRow, p.NumRows)
-	// Every successor list is bounded by NumSucc, so all of them are
-	// carved out of one backing array up front: Learn never allocates.
-	succs := make([]mem.Line, p.NumRows*p.NumSucc)
-	for i := range rows {
-		rows[i].succ = succs[i*p.NumSucc : i*p.NumSucc : (i+1)*p.NumSucc]
-	}
-	for i := range t.sets {
-		t.sets[i] = rows[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
+		setMask:  uint64(p.NumRows/p.Assoc - 1),
+		tags:     make([]mem.Line, p.NumRows),
+		lru:      make([]uint64, p.NumRows),
+		valid:    make([]bool, p.NumRows),
+		cnt:      make([]uint8, p.NumRows),
+		succ:     make([]mem.Line, p.NumRows*p.NumSucc),
 	}
 	return t
 }
@@ -75,13 +73,13 @@ func (t *BaseTable) rowAddr(set, way int) mem.Addr {
 
 // probe searches the set for a row tagged l, charging the associative
 // search to the sink. It returns the set index and way, or way = -1.
-func (t *BaseTable) probe(l mem.Line, s Sink) (set, way int) {
+func baseProbe[S Sink](t *BaseTable, l mem.Line, s S) (set, way int) {
 	set = int(t.setIndex(l))
-	ways := t.sets[set]
-	for w := range ways {
+	ri := set * t.p.Assoc
+	for w := 0; w < t.p.Assoc; w++ {
 		s.Instr(InstrProbeWay)
 		s.Touch(t.rowAddr(set, w), tagWordBytes, false)
-		if ways[w].valid && ways[w].tag == l {
+		if t.valid[ri+w] && t.tags[ri+w] == l {
 			return set, w
 		}
 	}
@@ -90,87 +88,124 @@ func (t *BaseTable) probe(l mem.Line, s Sink) (set, way int) {
 
 // findOrAlloc returns the row for l, allocating (possibly replacing
 // the LRU way) when absent.
-func (t *BaseTable) findOrAlloc(l mem.Line, s Sink) (set, way int) {
-	set, way = t.probe(l, s)
+func baseFindOrAlloc[S Sink](t *BaseTable, l mem.Line, s S) (set, way int) {
+	set, way = baseProbe(t, l, s)
 	if way >= 0 {
 		return set, way
 	}
-	ways := t.sets[set]
+	ri := set * t.p.Assoc
 	victim, oldest := 0, uint64(1<<64-1)
-	for w := range ways {
-		if !ways[w].valid {
+	for w := 0; w < t.p.Assoc; w++ {
+		if !t.valid[ri+w] {
 			victim = w
-			oldest = 0
 			break
 		}
-		if ways[w].lru < oldest {
-			oldest = ways[w].lru
+		if t.lru[ri+w] < oldest {
+			oldest = t.lru[ri+w]
 			victim = w
 		}
 	}
 	t.st.Insertions++
-	if ways[victim].valid {
+	if t.valid[ri+victim] {
 		t.st.Replacements++
 	}
 	s.Instr(InstrAllocRow)
 	s.Touch(t.rowAddr(set, victim), t.rowBytes, true)
-	ways[victim] = baseRow{tag: l, valid: true, succ: ways[victim].succ[:0]}
+	r := ri + victim
+	t.tags[r] = l
+	t.valid[r] = true
+	t.lru[r] = 0
+	t.cnt[r] = 0
 	return set, victim
 }
 
-// Learn records miss m: m becomes the MRU immediate successor of the
-// previous miss, and a row is allocated for m itself unless present
-// (§2.2 Base algorithm, Fig 4-(a) steps (i) and (ii)).
-func (t *BaseTable) Learn(m mem.Line, s Sink) {
+// baseLearn records miss m: m becomes the MRU immediate successor of
+// the previous miss, and a row is allocated for m itself unless
+// present (§2.2 Base algorithm, Fig 4-(a) steps (i) and (ii)).
+func baseLearn[S Sink](t *BaseTable, m mem.Line, s S) {
 	t.tick++
 	if t.hasLast && t.lastMiss != m {
-		set, way := t.findOrAlloc(t.lastMiss, s)
-		row := &t.sets[set][way]
-		row.lru = t.tick
-		t.insertSucc(row, m, s)
+		set, way := baseFindOrAlloc(t, t.lastMiss, s)
+		r := set*t.p.Assoc + way
+		t.lru[r] = t.tick
+		baseInsertSucc(t, r, m, s)
 		s.Touch(t.rowAddr(set, way)+tagWordBytes, t.p.NumSucc*succWordBytes, true)
 	}
-	set, way := t.findOrAlloc(m, s)
-	t.sets[set][way].lru = t.tick
+	set, way := baseFindOrAlloc(t, m, s)
+	t.lru[set*t.p.Assoc+way] = t.tick
 	t.lastMiss = m
 	t.hasLast = true
 }
 
-// insertSucc puts m at the MRU position of row's successor list,
-// deduplicating (successors "replace each other with a LRU policy",
-// §2.2, i.e. an existing entry moves to the front).
-func (t *BaseTable) insertSucc(row *baseRow, m mem.Line, s Sink) {
+// baseInsertSucc puts m at the MRU position of row r's successor
+// window, deduplicating (successors "replace each other with a LRU
+// policy", §2.2, i.e. an existing entry moves to the front).
+func baseInsertSucc[S Sink](t *BaseTable, r int, m mem.Line, s S) {
 	t.st.SuccUpdates++
 	s.Instr(InstrInsertSucc)
-	for i, e := range row.succ {
+	off := r * t.p.NumSucc
+	n := int(t.cnt[r])
+	lv := t.succ[off : off+n]
+	for i, e := range lv {
 		if e == m {
-			copy(row.succ[1:i+1], row.succ[:i])
-			row.succ[0] = m
+			copy(lv[1:i+1], lv[:i])
+			lv[0] = m
 			return
 		}
 	}
-	if len(row.succ) < t.p.NumSucc {
-		row.succ = append(row.succ, 0)
+	if n < t.p.NumSucc {
+		n++
+		t.cnt[r] = uint8(n)
+		lv = t.succ[off : off+n]
 	}
-	copy(row.succ[1:], row.succ)
-	row.succ[0] = m
+	copy(lv[1:], lv)
+	lv[0] = m
 }
 
-// Successors returns the MRU-ordered successors recorded for m,
-// charging one associative search plus the successor reads. The
-// returned slice aliases table state and must not be retained.
-func (t *BaseTable) Successors(m mem.Line, s Sink) []mem.Line {
+// baseSuccessors returns the MRU-ordered successors recorded for m,
+// charging one associative search plus the successor reads.
+func baseSuccessors[S Sink](t *BaseTable, m mem.Line, s S) []mem.Line {
 	t.st.Lookups++
-	set, way := t.probe(m, s)
+	set, way := baseProbe(t, m, s)
 	if way < 0 {
 		return nil
 	}
 	t.st.LookupHits++
-	row := &t.sets[set][way]
-	row.lru = t.tick
-	s.Touch(t.rowAddr(set, way)+tagWordBytes, len(row.succ)*succWordBytes, false)
-	s.Instr(InstrReadSucc * len(row.succ))
-	return row.succ
+	r := set*t.p.Assoc + way
+	t.lru[r] = t.tick
+	n := int(t.cnt[r])
+	s.Touch(t.rowAddr(set, way)+tagWordBytes, n*succWordBytes, false)
+	s.Instr(InstrReadSucc * n)
+	return t.succ[r*t.p.NumSucc : r*t.p.NumSucc+n]
+}
+
+// Learn records miss m. The call is specialized for the concrete
+// sinks of the hot paths (the memory-processor session and NullSink)
+// so their per-way cost reports stay direct calls.
+func (t *BaseTable) Learn(m mem.Line, s Sink) {
+	switch cs := s.(type) {
+	case NullSink:
+		baseLearn(t, m, cs)
+	case *SessionSink:
+		baseLearn(t, m, cs)
+	default:
+		baseLearn(t, m, s)
+	}
+}
+
+// Successors returns the MRU-ordered successors recorded for m. The
+// returned slice is a read-only window into the successor arena; it
+// is invalidated by the next Learn/Relocate/Reset and must not be
+// retained or written.
+func (t *BaseTable) Successors(m mem.Line, s Sink) []mem.Line {
+	switch cs := s.(type) {
+	case NullSink:
+		return baseSuccessors(t, m, cs)
+	case *SessionSink:
+		return baseSuccessors(t, m, cs)
+	default:
+		return baseSuccessors(t, m, s)
+	}
 }
 
 // Stats returns a copy of the counters.
@@ -179,12 +214,10 @@ func (t *BaseTable) Stats() Stats { return t.st }
 // Reset clears learning state but keeps geometry, for reuse across
 // trace passes.
 func (t *BaseTable) Reset() {
-	for si := range t.sets {
-		for wi := range t.sets[si] {
-			// Keep the preallocated successor backing.
-			t.sets[si][wi] = baseRow{succ: t.sets[si][wi].succ[:0]}
-		}
-	}
+	clear(t.tags)
+	clear(t.lru)
+	clear(t.valid)
+	clear(t.cnt)
 	t.hasLast = false
 	t.tick = 0
 	t.st = Stats{}

@@ -64,11 +64,12 @@ func BenchmarkReplLevels(b *testing.B) {
 	t := NewRepl(ReplParams(1<<14), 0)
 	seq := benchSeq(4096)
 	var s NullSink
+	var v LevelView
 	for _, m := range seq {
 		t.Learn(m, s)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		t.Levels(seq[i%len(seq)], s)
+		t.Levels(seq[i%len(seq)], s, &v)
 	}
 }

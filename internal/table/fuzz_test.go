@@ -76,5 +76,12 @@ func FuzzSizeRows(f *testing.F) {
 		if rows2 != rows || (rate2 != rate && !(math.IsNaN(rate) && math.IsNaN(rate2))) {
 			t.Fatalf("non-deterministic: (%d, %v) then (%d, %v)", rows, rate, rows2, rate2)
 		}
+
+		// The batched one-pass search must agree bit-exactly with the
+		// per-candidate full-replay reference.
+		refRows, refRate := sizeRowsReference(trace, int(assoc), frac, int(minR), maxRows)
+		if rows != refRows || (rate != refRate && !(math.IsNaN(rate) && math.IsNaN(refRate))) {
+			t.Fatalf("diverged from reference: got (%d, %v), want (%d, %v)", rows, rate, refRows, refRate)
+		}
 	})
 }

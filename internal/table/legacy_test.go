@@ -1,0 +1,637 @@
+package table
+
+// The packed, pointer-free tables must behave bit-identically to the
+// slice-of-slices layout they replaced: same successors returned, same
+// Stats, and the same Sink call stream (every Touch address/size/kind
+// and every Instr count, in order) so simulated timing is unchanged.
+// This file keeps verbatim copies of the old implementations and
+// drives both layouts through randomized operation sequences.
+
+import (
+	"math/rand"
+	"testing"
+
+	"ulmt/internal/mem"
+)
+
+// --- recording sink ---
+
+type sinkEvent struct {
+	touch bool
+	addr  mem.Addr
+	size  int
+	write bool
+	n     int
+}
+
+type recordSink struct{ events []sinkEvent }
+
+func (r *recordSink) Touch(addr mem.Addr, size int, write bool) {
+	r.events = append(r.events, sinkEvent{touch: true, addr: addr, size: size, write: write})
+}
+
+func (r *recordSink) Instr(n int) {
+	r.events = append(r.events, sinkEvent{n: n})
+}
+
+func sameEvents(t *testing.T, what string, a, b []sinkEvent) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d sink events vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: sink event %d: %+v vs %+v", what, i, a[i], b[i])
+		}
+	}
+}
+
+// --- legacy Base (pre-packed layout, verbatim behavior) ---
+
+type legacyBase struct {
+	p        Params
+	sets     [][]legacyBaseRow
+	setMask  uint64
+	base     mem.Addr
+	rowBytes int
+
+	lastMiss mem.Line
+	hasLast  bool
+	tick     uint64
+	st       Stats
+}
+
+type legacyBaseRow struct {
+	tag   mem.Line
+	valid bool
+	lru   uint64
+	succ  []mem.Line
+}
+
+func newLegacyBase(p Params, base mem.Addr) *legacyBase {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	t := &legacyBase{
+		p:        p,
+		base:     base,
+		rowBytes: tagWordBytes + p.NumSucc*succWordBytes,
+	}
+	nsets := p.NumRows / p.Assoc
+	t.setMask = uint64(nsets - 1)
+	t.sets = make([][]legacyBaseRow, nsets)
+	rows := make([]legacyBaseRow, p.NumRows)
+	succs := make([]mem.Line, p.NumRows*p.NumSucc)
+	for i := range rows {
+		rows[i].succ = succs[i*p.NumSucc : i*p.NumSucc : (i+1)*p.NumSucc]
+	}
+	for i := range t.sets {
+		t.sets[i] = rows[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
+	}
+	return t
+}
+
+func (t *legacyBase) setIndex(l mem.Line) uint64 { return uint64(l) & t.setMask }
+
+func (t *legacyBase) rowAddr(set, way int) mem.Addr {
+	idx := set*t.p.Assoc + way
+	return t.base + mem.Addr(idx*t.rowBytes)
+}
+
+func (t *legacyBase) probe(l mem.Line, s Sink) (set, way int) {
+	set = int(t.setIndex(l))
+	ways := t.sets[set]
+	for w := range ways {
+		s.Instr(InstrProbeWay)
+		s.Touch(t.rowAddr(set, w), tagWordBytes, false)
+		if ways[w].valid && ways[w].tag == l {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+func (t *legacyBase) findOrAlloc(l mem.Line, s Sink) (set, way int) {
+	set, way = t.probe(l, s)
+	if way >= 0 {
+		return set, way
+	}
+	ways := t.sets[set]
+	victim, oldest := 0, uint64(1<<64-1)
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		if ways[w].lru < oldest {
+			oldest = ways[w].lru
+			victim = w
+		}
+	}
+	t.st.Insertions++
+	if ways[victim].valid {
+		t.st.Replacements++
+	}
+	s.Instr(InstrAllocRow)
+	s.Touch(t.rowAddr(set, victim), t.rowBytes, true)
+	ways[victim] = legacyBaseRow{tag: l, valid: true, succ: ways[victim].succ[:0]}
+	return set, victim
+}
+
+func (t *legacyBase) Learn(m mem.Line, s Sink) {
+	t.tick++
+	if t.hasLast && t.lastMiss != m {
+		set, way := t.findOrAlloc(t.lastMiss, s)
+		row := &t.sets[set][way]
+		row.lru = t.tick
+		t.insertSucc(row, m, s)
+		s.Touch(t.rowAddr(set, way)+tagWordBytes, t.p.NumSucc*succWordBytes, true)
+	}
+	set, way := t.findOrAlloc(m, s)
+	t.sets[set][way].lru = t.tick
+	t.lastMiss = m
+	t.hasLast = true
+}
+
+func (t *legacyBase) insertSucc(row *legacyBaseRow, m mem.Line, s Sink) {
+	t.st.SuccUpdates++
+	s.Instr(InstrInsertSucc)
+	for i, e := range row.succ {
+		if e == m {
+			copy(row.succ[1:i+1], row.succ[:i])
+			row.succ[0] = m
+			return
+		}
+	}
+	if len(row.succ) < t.p.NumSucc {
+		row.succ = append(row.succ, 0)
+	}
+	copy(row.succ[1:], row.succ)
+	row.succ[0] = m
+}
+
+func (t *legacyBase) Successors(m mem.Line, s Sink) []mem.Line {
+	t.st.Lookups++
+	set, way := t.probe(m, s)
+	if way < 0 {
+		return nil
+	}
+	t.st.LookupHits++
+	row := &t.sets[set][way]
+	row.lru = t.tick
+	s.Touch(t.rowAddr(set, way)+tagWordBytes, len(row.succ)*succWordBytes, false)
+	s.Instr(InstrReadSucc * len(row.succ))
+	return row.succ
+}
+
+func (t *legacyBase) Stats() Stats { return t.st }
+
+func (t *legacyBase) Reset() {
+	for si := range t.sets {
+		for wi := range t.sets[si] {
+			t.sets[si][wi] = legacyBaseRow{succ: t.sets[si][wi].succ[:0]}
+		}
+	}
+	t.hasLast = false
+	t.tick = 0
+	t.st = Stats{}
+}
+
+// --- legacy Repl (pre-packed layout, verbatim behavior) ---
+
+type legacyRepl struct {
+	p        Params
+	sets     [][]legacyReplRow
+	setMask  uint64
+	base     mem.Addr
+	rowBytes int
+
+	last []rowPtr
+	tick uint64
+	st   Stats
+
+	UsePointers bool
+}
+
+type legacyReplRow struct {
+	tag    mem.Line
+	valid  bool
+	lru    uint64
+	levels [][]mem.Line
+}
+
+func newLegacyRepl(p Params, base mem.Addr) *legacyRepl {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if p.NumLevels < 1 {
+		panic("table: Replicated needs NumLevels >= 1")
+	}
+	t := &legacyRepl{
+		p:           p,
+		base:        base,
+		rowBytes:    tagWordBytes + p.NumLevels*p.NumSucc*succWordBytes,
+		last:        make([]rowPtr, p.NumLevels),
+		UsePointers: true,
+	}
+	nsets := p.NumRows / p.Assoc
+	t.setMask = uint64(nsets - 1)
+	t.sets = make([][]legacyReplRow, nsets)
+	rows := make([]legacyReplRow, p.NumRows)
+	levels := make([][]mem.Line, p.NumRows*p.NumLevels)
+	succs := make([]mem.Line, p.NumRows*p.NumLevels*p.NumSucc)
+	for i := range rows {
+		lv := levels[i*p.NumLevels : (i+1)*p.NumLevels : (i+1)*p.NumLevels]
+		for j := range lv {
+			off := (i*p.NumLevels + j) * p.NumSucc
+			lv[j] = succs[off : off : off+p.NumSucc]
+		}
+		rows[i].levels = lv
+	}
+	for i := range t.sets {
+		t.sets[i] = rows[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
+	}
+	return t
+}
+
+func (t *legacyRepl) setIndex(l mem.Line) uint64 { return uint64(l) & t.setMask }
+
+func (t *legacyRepl) rowAddr(set, way int) mem.Addr {
+	idx := set*t.p.Assoc + way
+	return t.base + mem.Addr(idx*t.rowBytes)
+}
+
+func (t *legacyRepl) levelAddr(set, way, level int) mem.Addr {
+	return t.rowAddr(set, way) + mem.Addr(tagWordBytes+level*t.p.NumSucc*succWordBytes)
+}
+
+func (t *legacyRepl) probe(l mem.Line, s Sink) (set, way int) {
+	set = int(t.setIndex(l))
+	ways := t.sets[set]
+	for w := range ways {
+		s.Instr(InstrProbeWay)
+		s.Touch(t.rowAddr(set, w), tagWordBytes, false)
+		if ways[w].valid && ways[w].tag == l {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+func (t *legacyRepl) findOrAlloc(l mem.Line, s Sink) (set, way int) {
+	set, way = t.probe(l, s)
+	if way >= 0 {
+		return set, way
+	}
+	ways := t.sets[set]
+	victim, oldest := 0, uint64(1<<64-1)
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		if ways[w].lru < oldest {
+			oldest = ways[w].lru
+			victim = w
+		}
+	}
+	t.st.Insertions++
+	if ways[victim].valid {
+		t.st.Replacements++
+	}
+	s.Instr(InstrAllocRow)
+	s.Touch(t.rowAddr(set, victim), t.rowBytes, true)
+	lv := ways[victim].levels
+	if lv == nil {
+		lv = make([][]mem.Line, t.p.NumLevels)
+	} else {
+		for i := range lv {
+			lv[i] = lv[i][:0]
+		}
+	}
+	ways[victim] = legacyReplRow{tag: l, valid: true, levels: lv}
+	return set, victim
+}
+
+func (t *legacyRepl) Learn(m mem.Line, s Sink) {
+	t.tick++
+	for i := 0; i < t.p.NumLevels; i++ {
+		ptr := t.last[i]
+		if !ptr.valid || ptr.tag == m {
+			continue
+		}
+		var set, way int
+		if t.UsePointers {
+			set, way = ptr.set, ptr.way
+			s.Instr(2)
+			row := &t.sets[set][way]
+			if !row.valid || row.tag != ptr.tag {
+				continue
+			}
+		} else {
+			set, way = t.probe(ptr.tag, s)
+			if way < 0 {
+				continue
+			}
+		}
+		row := &t.sets[set][way]
+		t.insertSucc(row, i, m, s)
+		s.Touch(t.levelAddr(set, way, i), t.p.NumSucc*succWordBytes, true)
+	}
+	set, way := t.findOrAlloc(m, s)
+	t.sets[set][way].lru = t.tick
+	copy(t.last[1:], t.last)
+	t.last[0] = rowPtr{set: set, way: way, tag: m, valid: true}
+}
+
+func (t *legacyRepl) insertSucc(row *legacyReplRow, level int, m mem.Line, s Sink) {
+	t.st.SuccUpdates++
+	s.Instr(InstrInsertSucc)
+	lv := row.levels[level]
+	for i, e := range lv {
+		if e == m {
+			copy(lv[1:i+1], lv[:i])
+			lv[0] = m
+			return
+		}
+	}
+	if len(lv) < t.p.NumSucc {
+		lv = append(lv, 0)
+	}
+	copy(lv[1:], lv)
+	lv[0] = m
+	row.levels[level] = lv
+}
+
+func (t *legacyRepl) Levels(m mem.Line, s Sink) [][]mem.Line {
+	t.st.Lookups++
+	set, way := t.probe(m, s)
+	if way < 0 {
+		return nil
+	}
+	t.st.LookupHits++
+	row := &t.sets[set][way]
+	row.lru = t.tick
+	s.Touch(t.rowAddr(set, way)+tagWordBytes, t.p.NumLevels*t.p.NumSucc*succWordBytes, false)
+	n := 0
+	for _, lv := range row.levels {
+		n += len(lv)
+	}
+	s.Instr(InstrReadSucc * n)
+	return row.levels
+}
+
+func (t *legacyRepl) Relocate(oldLine, newLine mem.Line, s Sink) bool {
+	set, way := t.probe(oldLine, s)
+	if way < 0 {
+		return false
+	}
+	row := t.sets[set][way]
+	t.sets[set][way] = legacyReplRow{}
+	nset, nway := t.findOrAlloc(newLine, s)
+	dst := &t.sets[nset][nway]
+	dst.levels = row.levels
+	dst.lru = row.lru
+	s.Touch(t.rowAddr(nset, nway), t.rowBytes, true)
+	return true
+}
+
+func (t *legacyRepl) RewriteSuccessor(oldLine, newLine mem.Line, s Sink) int {
+	n := 0
+	for _, ptr := range t.last {
+		if !ptr.valid {
+			continue
+		}
+		row := &t.sets[ptr.set][ptr.way]
+		if !row.valid || row.tag != ptr.tag {
+			continue
+		}
+		for li := range row.levels {
+			for si := range row.levels[li] {
+				if row.levels[li][si] == oldLine {
+					row.levels[li][si] = newLine
+					s.Touch(t.levelAddr(ptr.set, ptr.way, li), succWordBytes, true)
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func (t *legacyRepl) Stats() Stats { return t.st }
+
+func (t *legacyRepl) Reset() {
+	for si := range t.sets {
+		for wi := range t.sets[si] {
+			lv := t.sets[si][wi].levels
+			for i := range lv {
+				lv[i] = lv[i][:0]
+			}
+			t.sets[si][wi] = legacyReplRow{levels: lv}
+		}
+	}
+	for i := range t.last {
+		t.last[i] = rowPtr{}
+	}
+	t.tick = 0
+	t.st = Stats{}
+}
+
+// --- equivalence drivers ---
+
+// traceOf builds a clustered random miss trace: small working sets
+// with occasional jumps, so probes hit, miss, replace and chase stale
+// pointers in realistic proportions.
+func traceOf(rng *rand.Rand, n, spread int) []mem.Line {
+	tr := make([]mem.Line, n)
+	base := mem.Line(rng.Intn(1 << 16))
+	for i := range tr {
+		if rng.Intn(16) == 0 {
+			base = mem.Line(rng.Intn(1 << 16))
+		}
+		tr[i] = base + mem.Line(rng.Intn(spread))
+	}
+	return tr
+}
+
+func sameLines(t *testing.T, what string, a, b []mem.Line) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %v vs %v", what, a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: %v vs %v", what, a, b)
+		}
+	}
+}
+
+// TestBasePackedMatchesLegacy drives both Base layouts through the
+// same randomized Learn/Successors/Reset sequence, comparing returned
+// successors, Stats and the full Sink call stream.
+func TestBasePackedMatchesLegacy(t *testing.T) {
+	geoms := []Params{
+		{NumRows: 4, Assoc: 2, NumSucc: 2, NumLevels: 1},
+		{NumRows: 64, Assoc: 4, NumSucc: 4, NumLevels: 1},
+		{NumRows: 16, Assoc: 1, NumSucc: 3, NumLevels: 1},
+		{NumRows: 8, Assoc: 8, NumSucc: 1, NumLevels: 1},
+	}
+	for gi, p := range geoms {
+		rng := rand.New(rand.NewSource(int64(1000 + gi)))
+		packed := NewBase(p, 1<<20)
+		legacy := newLegacyBase(p, 1<<20)
+		tr := traceOf(rng, 4000, p.NumRows*3)
+		for i, m := range tr {
+			var ps, ls recordSink
+			switch rng.Intn(8) {
+			case 0:
+				got := packed.Successors(m, &ps)
+				want := legacy.Successors(m, &ls)
+				sameLines(t, "Successors", got, want)
+			case 1:
+				packed.Reset()
+				legacy.Reset()
+			default:
+				packed.Learn(m, &ps)
+				legacy.Learn(m, &ls)
+			}
+			sameEvents(t, "Base op", ps.events, ls.events)
+			if packed.Stats() != legacy.Stats() {
+				t.Fatalf("geom %d op %d: stats %+v vs %+v", gi, i, packed.Stats(), legacy.Stats())
+			}
+		}
+	}
+}
+
+// TestReplPackedMatchesLegacy drives both Replicated layouts through
+// randomized Learn/Levels/Relocate/RewriteSuccessor/Reset sequences —
+// including the Relocate-vacated-slot interplay — in both pointer
+// modes.
+func TestReplPackedMatchesLegacy(t *testing.T) {
+	geoms := []Params{
+		{NumRows: 4, Assoc: 2, NumSucc: 2, NumLevels: 3},
+		{NumRows: 64, Assoc: 2, NumSucc: 2, NumLevels: 3},
+		{NumRows: 32, Assoc: 4, NumSucc: 3, NumLevels: 2},
+		{NumRows: 16, Assoc: 2, NumSucc: 2, NumLevels: 4},
+		{NumRows: 2, Assoc: 2, NumSucc: 1, NumLevels: 1},
+	}
+	for _, usePtr := range []bool{true, false} {
+		for gi, p := range geoms {
+			rng := rand.New(rand.NewSource(int64(2000 + gi)))
+			packed := NewRepl(p, 1<<20)
+			legacy := newLegacyRepl(p, 1<<20)
+			packed.UsePointers = usePtr
+			legacy.UsePointers = usePtr
+			tr := traceOf(rng, 4000, p.NumRows*3)
+			var view LevelView
+			for i, m := range tr {
+				var ps, ls recordSink
+				switch rng.Intn(10) {
+				case 0:
+					ok := packed.Levels(m, &ps, &view)
+					want := legacy.Levels(m, &ls)
+					if ok != (want != nil) {
+						t.Fatalf("geom %d op %d: Levels hit %v vs %v", gi, i, ok, want != nil)
+					}
+					if ok {
+						if view.NumLevels() != len(want) {
+							t.Fatalf("geom %d op %d: levels %d vs %d", gi, i, view.NumLevels(), len(want))
+						}
+						for lv := range want {
+							sameLines(t, "Levels", view.Level(lv), want[lv])
+						}
+					}
+				case 1:
+					old := m
+					nw := m + mem.Line(rng.Intn(64)+1)
+					if packed.Relocate(old, nw, &ps) != legacy.Relocate(old, nw, &ls) {
+						t.Fatalf("geom %d op %d: Relocate disagreement", gi, i)
+					}
+				case 2:
+					old := m
+					nw := m + 1
+					if packed.RewriteSuccessor(old, nw, &ps) != legacy.RewriteSuccessor(old, nw, &ls) {
+						t.Fatalf("geom %d op %d: RewriteSuccessor disagreement", gi, i)
+					}
+				case 3:
+					packed.Reset()
+					legacy.Reset()
+				default:
+					packed.Learn(m, &ps)
+					legacy.Learn(m, &ls)
+				}
+				sameEvents(t, "Repl op", ps.events, ls.events)
+				if packed.Stats() != legacy.Stats() {
+					t.Fatalf("geom %d op %d: stats %+v vs %+v", gi, i, packed.Stats(), legacy.Stats())
+				}
+			}
+			// Final fingerprint: every line that appeared must resolve
+			// to identical per-level lists.
+			seen := map[mem.Line]bool{}
+			for _, m := range tr {
+				if seen[m] {
+					continue
+				}
+				seen[m] = true
+				var ns NullSink
+				ok := packed.Levels(m, ns, &view)
+				want := legacy.Levels(m, ns)
+				if ok != (want != nil) {
+					t.Fatalf("fingerprint: hit %v vs %v for %v", ok, want != nil, m)
+				}
+				for lv := range want {
+					sameLines(t, "fingerprint", view.Level(lv), want[lv])
+				}
+			}
+		}
+	}
+}
+
+// sizeRowsReference is the pre-optimization SizeRows: replay the full
+// trace into a fresh Base table once per candidate row count.
+func sizeRowsReference(trace []mem.Line, assoc int, maxReplaceFrac float64, minRows, maxRows int) (numRows int, rate float64) {
+	if assoc <= 0 {
+		assoc = 2
+	}
+	for assoc&(assoc-1) != 0 {
+		assoc &= assoc - 1
+	}
+	if minRows < assoc {
+		minRows = assoc
+	}
+	for minRows&(minRows-1) != 0 {
+		minRows += minRows & -minRows
+	}
+	var sink NullSink
+	for rows := minRows; ; rows *= 2 {
+		t := NewBase(Params{NumRows: rows, Assoc: assoc, NumSucc: 1, NumLevels: 1}, 0)
+		for _, m := range trace {
+			t.Learn(m, sink)
+		}
+		rate = t.Stats().ReplacementRate()
+		if rate < maxReplaceFrac || rows >= maxRows || rows<<1 <= 0 {
+			return rows, rate
+		}
+	}
+}
+
+// TestSizeRowsMatchesReference checks the batched one-pass SizeRows
+// against the per-candidate replay on randomized traces and hostile
+// geometry.
+func TestSizeRowsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 60; iter++ {
+		tr := traceOf(rng, rng.Intn(3000), 1+rng.Intn(2048))
+		assoc := rng.Intn(6)
+		frac := []float64{0, 0.01, 0.05, 0.3, 1.1}[rng.Intn(5)]
+		minR := rng.Intn(64)
+		maxR := []int{8, 256, 1 << 12}[rng.Intn(3)]
+		gotRows, gotRate := SizeRows(tr, assoc, frac, minR, maxR)
+		wantRows, wantRate := sizeRowsReference(tr, assoc, frac, minR, maxR)
+		if gotRows != wantRows || gotRate != wantRate {
+			t.Fatalf("iter %d (assoc=%d frac=%v min=%d max=%d): got (%d, %v), want (%d, %v)",
+				iter, assoc, frac, minR, maxR, gotRows, gotRate, wantRows, wantRate)
+		}
+	}
+}

@@ -12,17 +12,32 @@ import "ulmt/internal/mem"
 // — no associative search — while prefetching needs exactly one row
 // access. This shifts work from the time-critical Prefetching step to
 // the Learning step, which Table 1 and Fig 10 quantify.
+//
+// Like BaseTable, storage is packed and pointer-free: per-level
+// successor lists are fixed-stride windows into one flat arena with a
+// side array of per-level occupancy counts, so the host GC has
+// nothing to scan in even the largest Table 2 instances.
 type ReplTable struct {
 	p        Params
-	sets     [][]replRow
 	setMask  uint64
 	base     mem.Addr
 	rowBytes int
 
-	// last[i] points at the row of the (i+1)-th most recent miss.
+	tags  []mem.Line // per row
+	lru   []uint64   // per row
+	valid []bool     // per row
+	cnt   []uint8    // per (row, level): cnt[r*NumLevels+lv]
+	succ  []mem.Line // arena, stride NumLevels*NumSucc per row
+
+	// last[i] is an index-based pointer to the row of the (i+1)-th
+	// most recent miss.
 	last []rowPtr
 	tick uint64
 	st   Stats
+
+	// cntScratch snapshots one row's occupancy counts across the
+	// vacate/realloc window of Relocate.
+	cntScratch []uint8
 
 	// UsePointers can be disabled for the ablation bench: learning
 	// then re-searches the table for each level like a naive port
@@ -34,13 +49,6 @@ type rowPtr struct {
 	set, way int
 	tag      mem.Line
 	valid    bool
-}
-
-type replRow struct {
-	tag    mem.Line
-	valid  bool
-	lru    uint64
-	levels [][]mem.Line
 }
 
 // NewRepl builds an empty Replicated table at the given simulated
@@ -56,29 +64,15 @@ func NewRepl(p Params, base mem.Addr) *ReplTable {
 		p:           p,
 		base:        base,
 		rowBytes:    tagWordBytes + p.NumLevels*p.NumSucc*succWordBytes,
+		setMask:     uint64(p.NumRows/p.Assoc - 1),
+		tags:        make([]mem.Line, p.NumRows),
+		lru:         make([]uint64, p.NumRows),
+		valid:       make([]bool, p.NumRows),
+		cnt:         make([]uint8, p.NumRows*p.NumLevels),
+		succ:        make([]mem.Line, p.NumRows*p.NumLevels*p.NumSucc),
 		last:        make([]rowPtr, p.NumLevels),
+		cntScratch:  make([]uint8, p.NumLevels),
 		UsePointers: true,
-	}
-	nsets := p.NumRows / p.Assoc
-	t.setMask = uint64(nsets - 1)
-	t.sets = make([][]replRow, nsets)
-	rows := make([]replRow, p.NumRows)
-	// Pre-carve every row's level lists (NumLevels each, NumSucc cap)
-	// out of two backing arrays so steady-state Learn never allocates.
-	// Relocate may still nil a slot's levels; findOrAlloc re-makes
-	// those on its rare path.
-	levels := make([][]mem.Line, p.NumRows*p.NumLevels)
-	succs := make([]mem.Line, p.NumRows*p.NumLevels*p.NumSucc)
-	for i := range rows {
-		lv := levels[i*p.NumLevels : (i+1)*p.NumLevels : (i+1)*p.NumLevels]
-		for j := range lv {
-			off := (i*p.NumLevels + j) * p.NumSucc
-			lv[j] = succs[off : off : off+p.NumSucc]
-		}
-		rows[i].levels = lv
-	}
-	for i := range t.sets {
-		t.sets[i] = rows[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
 	}
 	return t
 }
@@ -104,60 +98,57 @@ func (t *ReplTable) levelAddr(set, way, level int) mem.Addr {
 	return t.rowAddr(set, way) + mem.Addr(tagWordBytes+level*t.p.NumSucc*succWordBytes)
 }
 
-func (t *ReplTable) probe(l mem.Line, s Sink) (set, way int) {
+func replProbe[S Sink](t *ReplTable, l mem.Line, s S) (set, way int) {
 	set = int(t.setIndex(l))
-	ways := t.sets[set]
-	for w := range ways {
+	ri := set * t.p.Assoc
+	for w := 0; w < t.p.Assoc; w++ {
 		s.Instr(InstrProbeWay)
 		s.Touch(t.rowAddr(set, w), tagWordBytes, false)
-		if ways[w].valid && ways[w].tag == l {
+		if t.valid[ri+w] && t.tags[ri+w] == l {
 			return set, w
 		}
 	}
 	return set, -1
 }
 
-func (t *ReplTable) findOrAlloc(l mem.Line, s Sink) (set, way int) {
-	set, way = t.probe(l, s)
+func replFindOrAlloc[S Sink](t *ReplTable, l mem.Line, s S) (set, way int) {
+	set, way = replProbe(t, l, s)
 	if way >= 0 {
 		return set, way
 	}
-	ways := t.sets[set]
+	ri := set * t.p.Assoc
 	victim, oldest := 0, uint64(1<<64-1)
-	for w := range ways {
-		if !ways[w].valid {
+	for w := 0; w < t.p.Assoc; w++ {
+		if !t.valid[ri+w] {
 			victim = w
-			oldest = 0
 			break
 		}
-		if ways[w].lru < oldest {
-			oldest = ways[w].lru
+		if t.lru[ri+w] < oldest {
+			oldest = t.lru[ri+w]
 			victim = w
 		}
 	}
 	t.st.Insertions++
-	if ways[victim].valid {
+	if t.valid[ri+victim] {
 		t.st.Replacements++
 	}
 	s.Instr(InstrAllocRow)
 	s.Touch(t.rowAddr(set, victim), t.rowBytes, true)
-	lv := ways[victim].levels
-	if lv == nil {
-		lv = make([][]mem.Line, t.p.NumLevels)
-	} else {
-		for i := range lv {
-			lv[i] = lv[i][:0]
-		}
+	r := ri + victim
+	t.tags[r] = l
+	t.valid[r] = true
+	t.lru[r] = 0
+	for i := 0; i < t.p.NumLevels; i++ {
+		t.cnt[r*t.p.NumLevels+i] = 0
 	}
-	ways[victim] = replRow{tag: l, valid: true, levels: lv}
 	return set, victim
 }
 
-// Learn records miss m (Fig 4-(c) steps (i) and (ii)): m is inserted
-// as the MRU level-(i+1) successor of the (i+1)-th most recent miss
-// via the last-miss pointers, then a row for m is found or allocated
-// and the pointers shift.
-func (t *ReplTable) Learn(m mem.Line, s Sink) {
+// replLearn records miss m (Fig 4-(c) steps (i) and (ii)): m is
+// inserted as the MRU level-(i+1) successor of the (i+1)-th most
+// recent miss via the last-miss pointers, then a row for m is found
+// or allocated and the pointers shift.
+func replLearn[S Sink](t *ReplTable, m mem.Line, s S) {
 	t.tick++
 	for i := 0; i < t.p.NumLevels; i++ {
 		ptr := t.last[i]
@@ -170,31 +161,33 @@ func (t *ReplTable) Learn(m mem.Line, s Sink) {
 			// under us, then update. No associative search.
 			set, way = ptr.set, ptr.way
 			s.Instr(2)
-			row := &t.sets[set][way]
-			if !row.valid || row.tag != ptr.tag {
+			r := set*t.p.Assoc + way
+			if !t.valid[r] || t.tags[r] != ptr.tag {
 				continue // stale pointer; skip this level
 			}
 		} else {
 			// Ablation: naive re-search per level.
-			set, way = t.probe(ptr.tag, s)
+			set, way = replProbe(t, ptr.tag, s)
 			if way < 0 {
 				continue
 			}
 		}
-		row := &t.sets[set][way]
-		t.insertSucc(row, i, m, s)
+		replInsertSucc(t, set*t.p.Assoc+way, i, m, s)
 		s.Touch(t.levelAddr(set, way, i), t.p.NumSucc*succWordBytes, true)
 	}
-	set, way := t.findOrAlloc(m, s)
-	t.sets[set][way].lru = t.tick
+	set, way := replFindOrAlloc(t, m, s)
+	t.lru[set*t.p.Assoc+way] = t.tick
 	copy(t.last[1:], t.last)
 	t.last[0] = rowPtr{set: set, way: way, tag: m, valid: true}
 }
 
-func (t *ReplTable) insertSucc(row *replRow, level int, m mem.Line, s Sink) {
+func replInsertSucc[S Sink](t *ReplTable, r, level int, m mem.Line, s S) {
 	t.st.SuccUpdates++
 	s.Instr(InstrInsertSucc)
-	lv := row.levels[level]
+	ci := r*t.p.NumLevels + level
+	off := ci * t.p.NumSucc
+	n := int(t.cnt[ci])
+	lv := t.succ[off : off+n]
 	for i, e := range lv {
 		if e == m {
 			copy(lv[1:i+1], lv[:i])
@@ -202,54 +195,95 @@ func (t *ReplTable) insertSucc(row *replRow, level int, m mem.Line, s Sink) {
 			return
 		}
 	}
-	if len(lv) < t.p.NumSucc {
-		lv = append(lv, 0)
+	if n < t.p.NumSucc {
+		n++
+		t.cnt[ci] = uint8(n)
+		lv = t.succ[off : off+n]
 	}
 	copy(lv[1:], lv)
 	lv[0] = m
-	row.levels[level] = lv
 }
 
-// Levels returns the per-level MRU-ordered successors recorded for m
-// with a single row access (Fig 4-(c) step (iii)). Level 0 holds
-// immediate successors. The returned slices alias table state.
-func (t *ReplTable) Levels(m mem.Line, s Sink) [][]mem.Line {
+// replLevels copies the per-level MRU-ordered successors recorded for
+// m into v with a single row access (Fig 4-(c) step (iii)).
+func replLevels[S Sink](t *ReplTable, m mem.Line, s S, v *LevelView) bool {
 	t.st.Lookups++
-	set, way := t.probe(m, s)
+	set, way := replProbe(t, m, s)
 	if way < 0 {
-		return nil
+		v.levels = 0
+		return false
 	}
 	t.st.LookupHits++
-	row := &t.sets[set][way]
-	row.lru = t.tick
+	r := set*t.p.Assoc + way
+	t.lru[r] = t.tick
 	s.Touch(t.rowAddr(set, way)+tagWordBytes, t.p.NumLevels*t.p.NumSucc*succWordBytes, false)
+	nl, ns := t.p.NumLevels, t.p.NumSucc
+	v.ensure(nl, ns)
+	copy(v.lines, t.succ[r*nl*ns:(r+1)*nl*ns])
+	copy(v.counts, t.cnt[r*nl:(r+1)*nl])
 	n := 0
-	for _, lv := range row.levels {
-		n += len(lv)
+	for i := 0; i < nl; i++ {
+		n += int(t.cnt[r*nl+i])
 	}
 	s.Instr(InstrReadSucc * n)
-	return row.levels
+	return true
+}
+
+// Learn records miss m. Specialized for the concrete hot-path sinks;
+// see BaseTable.Learn.
+func (t *ReplTable) Learn(m mem.Line, s Sink) {
+	switch cs := s.(type) {
+	case NullSink:
+		replLearn(t, m, cs)
+	case *SessionSink:
+		replLearn(t, m, cs)
+	default:
+		replLearn(t, m, s)
+	}
+}
+
+// Levels fills the caller-owned view v with the per-level successors
+// recorded for m (level 0 holds immediate successors) and reports
+// whether a row was found. The view holds copies, not aliases: table
+// state cannot be corrupted through it, and the snapshot stays valid
+// across later Learn calls. Reusing one view across calls makes
+// steady-state lookups allocation-free.
+func (t *ReplTable) Levels(m mem.Line, s Sink, v *LevelView) bool {
+	switch cs := s.(type) {
+	case NullSink:
+		return replLevels(t, m, cs, v)
+	case *SessionSink:
+		return replLevels(t, m, cs, v)
+	default:
+		return replLevels(t, m, s, v)
+	}
 }
 
 // Relocate implements the page re-mapping hook of §3.4: the row
 // tagged with a line of the old physical page is moved to the
 // corresponding line of the new page, updating tag and pointers.
-// Successor entries pointing at the old page are rewritten too.
 func (t *ReplTable) Relocate(oldLine, newLine mem.Line, s Sink) bool {
-	set, way := t.probe(oldLine, s)
+	set, way := replProbe(t, oldLine, s)
 	if way < 0 {
 		return false
 	}
-	row := t.sets[set][way]
-	// Remove from old location, reinstall under the new tag. The
-	// vacated slot must have nil levels: findOrAlloc only sizes the
-	// per-level slices for a nil slice, and a non-nil empty one would
-	// make the next Learn of this slot index out of range.
-	t.sets[set][way] = replRow{}
-	nset, nway := t.findOrAlloc(newLine, s)
-	dst := &t.sets[nset][nway]
-	dst.levels = row.levels
-	dst.lru = row.lru
+	r := set*t.p.Assoc + way
+	nl, ns := t.p.NumLevels, t.p.NumSucc
+	// Snapshot the row's metadata, vacate it, and reinstall under the
+	// new tag. findOrAlloc may reclaim the vacated slot itself (its
+	// counts were cleared), so the occupancy counts are staged through
+	// scratch; the successor words are only overwritten by the copy
+	// below, which is a no-op when source and destination coincide.
+	oldLRU := t.lru[r]
+	copy(t.cntScratch, t.cnt[r*nl:(r+1)*nl])
+	t.valid[r] = false
+	nset, nway := replFindOrAlloc(t, newLine, s)
+	nr := nset*t.p.Assoc + nway
+	if nr != r {
+		copy(t.succ[nr*nl*ns:(nr+1)*nl*ns], t.succ[r*nl*ns:(r+1)*nl*ns])
+	}
+	copy(t.cnt[nr*nl:(nr+1)*nl], t.cntScratch)
+	t.lru[nr] = oldLRU
 	s.Touch(t.rowAddr(nset, nway), t.rowBytes, true)
 	return true
 }
@@ -261,18 +295,20 @@ func (t *ReplTable) Relocate(oldLine, newLine mem.Line, s Sink) bool {
 // automatically", §3.4).
 func (t *ReplTable) RewriteSuccessor(oldLine, newLine mem.Line, s Sink) int {
 	n := 0
+	nl, ns := t.p.NumLevels, t.p.NumSucc
 	for _, ptr := range t.last {
 		if !ptr.valid {
 			continue
 		}
-		row := &t.sets[ptr.set][ptr.way]
-		if !row.valid || row.tag != ptr.tag {
+		r := ptr.set*t.p.Assoc + ptr.way
+		if !t.valid[r] || t.tags[r] != ptr.tag {
 			continue
 		}
-		for li := range row.levels {
-			for si := range row.levels[li] {
-				if row.levels[li][si] == oldLine {
-					row.levels[li][si] = newLine
+		for li := 0; li < nl; li++ {
+			off := (r*nl + li) * ns
+			for si := 0; si < int(t.cnt[r*nl+li]); si++ {
+				if t.succ[off+si] == oldLine {
+					t.succ[off+si] = newLine
 					s.Touch(t.levelAddr(ptr.set, ptr.way, li), succWordBytes, true)
 					n++
 				}
@@ -287,17 +323,10 @@ func (t *ReplTable) Stats() Stats { return t.st }
 
 // Reset clears learning state but keeps geometry.
 func (t *ReplTable) Reset() {
-	for si := range t.sets {
-		for wi := range t.sets[si] {
-			// Keep the preallocated level backing (nil for slots
-			// vacated by Relocate, which findOrAlloc re-sizes).
-			lv := t.sets[si][wi].levels
-			for i := range lv {
-				lv[i] = lv[i][:0]
-			}
-			t.sets[si][wi] = replRow{levels: lv}
-		}
-	}
+	clear(t.tags)
+	clear(t.lru)
+	clear(t.valid)
+	clear(t.cnt)
 	for i := range t.last {
 		t.last[i] = rowPtr{}
 	}

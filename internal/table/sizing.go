@@ -21,6 +21,18 @@ import "ulmt/internal/mem"
 // and the search stops at maxRows even when maxRows < minRows, so the
 // result is always at least minRows. SizeRows never panics and is a
 // pure function of its arguments.
+//
+// Candidate row counts are simulated in small batches with one trace
+// pass per batch instead of one full table replay per candidate.
+// Each candidate remains an exact, independent replica of learning
+// the trace into a Base table with NumSucc=1: successor lists cannot
+// affect insertion or replacement counts, so only tags and LRU ticks
+// are simulated, stripped down to two flat arrays per candidate.
+// Candidates are deliberately NOT folded into one hierarchical
+// set-splitting structure — the last-miss row and the missing row are
+// touched with the same LRU tick on every Learn, so victim selection
+// depends on way-scan order and allocation history, which a shared
+// stack-algorithm pass cannot reproduce bit-exactly.
 func SizeRows(trace []mem.Line, assoc int, maxReplaceFrac float64, minRows, maxRows int) (numRows int, rate float64) {
 	if assoc <= 0 {
 		assoc = 2
@@ -37,18 +49,106 @@ func SizeRows(trace []mem.Line, assoc int, maxReplaceFrac float64, minRows, maxR
 	for minRows&(minRows-1) != 0 {
 		minRows += minRows & -minRows
 	}
-	var sink NullSink
-	for rows := minRows; ; rows *= 2 {
-		t := NewBase(Params{NumRows: rows, Assoc: assoc, NumSucc: 1, NumLevels: 1}, 0)
-		for _, m := range trace {
-			t.Learn(m, sink)
+	// Batch size 3 keeps one batch's arrays comparable to the largest
+	// single table the per-candidate replay used to allocate (the
+	// candidates double, so a batch costs 7× its smallest member).
+	const batch = 3
+	cands := make([]*sizeCand, 0, batch)
+	for rows := minRows; ; {
+		cands = cands[:0]
+		for len(cands) < batch {
+			cands = append(cands, newSizeCand(rows, assoc))
+			// rows<<1 guards pathological maxRows: the sequence ends
+			// before the doubling could overflow.
+			if rows >= maxRows || rows<<1 <= 0 {
+				break
+			}
+			rows <<= 1
 		}
-		rate = t.Stats().ReplacementRate()
-		// rows<<1 guards pathological maxRows: stop before the doubling
-		// could overflow.
-		if rate < maxReplaceFrac || rows >= maxRows || rows<<1 <= 0 {
-			return rows, rate
+		sizePass(cands, assoc, trace)
+		for _, c := range cands {
+			rate = c.rate()
+			if rate < maxReplaceFrac || c.rows >= maxRows || c.rows<<1 <= 0 {
+				return c.rows, rate
+			}
 		}
+	}
+}
+
+// sizeCand is one candidate row count under simulation: a Base table
+// reduced to tag and recency state. lru doubles as the valid bit —
+// every allocated row is immediately stamped with the current tick,
+// which starts at 1, so lru == 0 means the slot was never filled.
+type sizeCand struct {
+	rows int
+	mask uint64
+	tags []mem.Line
+	lru  []uint64
+	ins  uint64
+	repl uint64
+}
+
+func newSizeCand(rows, assoc int) *sizeCand {
+	return &sizeCand{
+		rows: rows,
+		mask: uint64(rows/assoc - 1),
+		tags: make([]mem.Line, rows),
+		lru:  make([]uint64, rows),
+	}
+}
+
+func (c *sizeCand) rate() float64 {
+	if c.ins == 0 {
+		return 0
+	}
+	return float64(c.repl) / float64(c.ins)
+}
+
+// findOrAlloc mirrors BaseTable's probe + LRU victim scan exactly,
+// including first-invalid-way preference and strict-less tie-breaking
+// in way order.
+func (c *sizeCand) findOrAlloc(l mem.Line, assoc int) int {
+	set := int(uint64(l) & c.mask)
+	ri := set * assoc
+	for w := 0; w < assoc; w++ {
+		if c.lru[ri+w] > 0 && c.tags[ri+w] == l {
+			return ri + w
+		}
+	}
+	victim, oldest := 0, uint64(1<<64-1)
+	for w := 0; w < assoc; w++ {
+		if c.lru[ri+w] == 0 {
+			victim = w
+			break
+		}
+		if c.lru[ri+w] < oldest {
+			oldest = c.lru[ri+w]
+			victim = w
+		}
+	}
+	c.ins++
+	if c.lru[ri+victim] > 0 {
+		c.repl++
+	}
+	c.tags[ri+victim] = l
+	return ri + victim
+}
+
+// sizePass learns the whole trace into every candidate in one pass.
+// The learn recurrence is BaseTable.Learn with the successor work
+// elided: stamp the previous miss's row and the current miss's row
+// with the shared tick.
+func sizePass(cands []*sizeCand, assoc int, trace []mem.Line) {
+	var last mem.Line
+	for i, m := range trace {
+		tick := uint64(i + 1)
+		for _, c := range cands {
+			if i > 0 && last != m {
+				c.lru[c.findOrAlloc(last, assoc)] = tick
+			}
+			c.lru[c.findOrAlloc(m, assoc)] = tick
+		}
+		last = m
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"ulmt/internal/mem"
+	"ulmt/internal/memproc"
 )
 
 // Sink receives the cost of table operations. Implementations must
@@ -43,6 +44,52 @@ func (NullSink) Touch(mem.Addr, int, bool) {}
 
 // Instr implements Sink.
 func (NullSink) Instr(int) {}
+
+// SessionSink is the concrete memory-processor sink of the simulator's
+// hot path. The tables' public methods specialize their generic cores
+// for *SessionSink and NullSink so the per-way Instr/Touch cost
+// reports are direct calls instead of interface dispatch.
+type SessionSink = memproc.Session
+
+// LevelView is a caller-owned snapshot of one Replicated row's
+// per-level successor lists, filled by ReplTable.Levels. It copies
+// instead of aliasing: the snapshot stays valid across later table
+// mutations and cannot be used to corrupt packed table state. Reusing
+// one view across calls keeps steady-state lookups allocation-free.
+type LevelView struct {
+	lines  []mem.Line
+	counts []uint8
+	levels int
+	stride int
+}
+
+// ensure sizes the backing arrays for nl levels of ns successors,
+// reusing capacity when possible.
+func (v *LevelView) ensure(nl, ns int) {
+	if cap(v.lines) < nl*ns {
+		v.lines = make([]mem.Line, nl*ns)
+	} else {
+		v.lines = v.lines[:nl*ns]
+	}
+	if cap(v.counts) < nl {
+		v.counts = make([]uint8, nl)
+	} else {
+		v.counts = v.counts[:nl]
+	}
+	v.levels = nl
+	v.stride = ns
+}
+
+// NumLevels returns the number of levels captured by the last Levels
+// call, zero when it missed.
+func (v *LevelView) NumLevels() int { return v.levels }
+
+// Level returns the MRU-ordered successors recorded at level i
+// (level 0 holds immediate successors). The slice is owned by the
+// view and valid until the next Levels call that fills it.
+func (v *LevelView) Level(i int) []mem.Line {
+	return v.lines[i*v.stride : i*v.stride+int(v.counts[i])]
+}
 
 // Instruction-cost constants for the hand-optimized ULMT inner loops.
 // The paper's ULMTs were written in C with unrolled loops and

@@ -9,6 +9,20 @@ import (
 
 var nullSink NullSink
 
+// levelsOf adapts the packed Levels API to the [][]mem.Line shape the
+// assertions below were written against; nil on a lookup miss.
+func levelsOf(tr *ReplTable, m mem.Line) [][]mem.Line {
+	var v LevelView
+	if !tr.Levels(m, nullSink, &v) {
+		return nil
+	}
+	out := make([][]mem.Line, v.NumLevels())
+	for i := range out {
+		out[i] = append([]mem.Line(nil), v.Level(i)...)
+	}
+	return out
+}
+
 func TestParamsValidate(t *testing.T) {
 	if err := BaseParams(1024).Validate(); err != nil {
 		t.Fatal(err)
@@ -71,7 +85,7 @@ func TestReplFig4c(t *testing.T) {
 	for _, m := range []mem.Line{a, b, c, a, d, c} {
 		tr.Learn(m, nullSink)
 	}
-	lv := tr.Levels(a, nullSink)
+	lv := levelsOf(tr, a)
 	if len(lv) != 2 {
 		t.Fatalf("levels = %d", len(lv))
 	}
@@ -116,7 +130,7 @@ func TestReplTrueMRUvsChainPath(t *testing.T) {
 			t.Fatalf("chain level-2 path should have lost c, got %v", s2)
 		}
 	}
-	lv := replMid.Levels(a, nullSink)
+	lv := levelsOf(replMid, a)
 	foundC := false
 	for _, x := range lv[1] {
 		if x == c {
@@ -180,7 +194,7 @@ func TestReplStalePointerSafe(t *testing.T) {
 		tr.Learn(mem.Line(i%5), nullSink)
 	}
 	// No panic and lookups still work.
-	tr.Levels(1, nullSink)
+	levelsOf(tr, 1)
 }
 
 func TestReplNoPointersAblation(t *testing.T) {
@@ -194,8 +208,8 @@ func TestReplNoPointersAblation(t *testing.T) {
 		withPtr.Learn(m, nullSink)
 		noPtr.Learn(m, nullSink)
 	}
-	a := withPtr.Levels(1, nullSink)
-	b := noPtr.Levels(1, nullSink)
+	a := levelsOf(withPtr, 1)
+	b := levelsOf(noPtr, 1)
 	for lv := range a {
 		if len(a[lv]) != len(b[lv]) {
 			t.Fatalf("level %d: %v vs %v", lv, a, b)
@@ -213,7 +227,7 @@ func TestReplReset(t *testing.T) {
 	tr.Learn(1, nullSink)
 	tr.Learn(2, nullSink)
 	tr.Reset()
-	if lv := tr.Levels(1, nullSink); lv != nil {
+	if lv := levelsOf(tr, 1); lv != nil {
 		t.Errorf("after reset Levels = %v", lv)
 	}
 	if tr.Stats().Insertions != 0 {
@@ -239,7 +253,7 @@ func TestReplRelocate(t *testing.T) {
 	if !tr.Relocate(1, 101, nullSink) {
 		t.Fatal("relocate of existing row failed")
 	}
-	if lv := tr.Levels(101, nullSink); len(lv) == 0 || len(lv[0]) == 0 || lv[0][0] != 2 {
+	if lv := levelsOf(tr, 101); len(lv) == 0 || len(lv[0]) == 0 || lv[0][0] != 2 {
 		t.Fatalf("relocated row lost content: %v", lv)
 	}
 	if tr.Relocate(999, 1000, nullSink) {
@@ -287,7 +301,7 @@ func TestLearnNeverPanicsProperty(t *testing.T) {
 			tb.Learn(mem.Line(m), nullSink)
 			tr.Learn(mem.Line(m), nullSink)
 			tb.Successors(mem.Line(m), nullSink)
-			tr.Levels(mem.Line(m), nullSink)
+			levelsOf(tr, mem.Line(m))
 		}
 		return true
 	}
@@ -338,7 +352,7 @@ func TestRelocatedSlotIsReusable(t *testing.T) {
 	// the last-miss pointers.
 	tr.Learn(12, sink)
 	tr.Learn(14, sink)
-	if succ := tr.Levels(12, sink); len(succ) == 0 || len(succ[0]) == 0 || succ[0][0] != 14 {
+	if succ := levelsOf(tr, 12); len(succ) == 0 || len(succ[0]) == 0 || succ[0][0] != 14 {
 		t.Fatalf("reused slot did not learn successors: %v", succ)
 	}
 }

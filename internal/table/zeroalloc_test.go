@@ -1,0 +1,129 @@
+package table
+
+import (
+	"testing"
+
+	"ulmt/internal/mem"
+)
+
+// TestZeroAllocTableOps gates the packed layout's whole point: after
+// construction, steady-state learning and lookup must never touch the
+// host allocator, whatever the miss mix. (CI runs this alongside the
+// other TestZeroAlloc gates.)
+func TestZeroAllocTableOps(t *testing.T) {
+	seq := benchSeq(2048)
+	var s NullSink
+
+	tb := NewBase(BaseParams(1<<10), 0)
+	for _, m := range seq {
+		tb.Learn(m, s)
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() { tb.Learn(seq[i%len(seq)], s); i++ }); n != 0 {
+		t.Errorf("Base.Learn allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { tb.Successors(seq[i%len(seq)], s); i++ }); n != 0 {
+		t.Errorf("Base.Successors allocates %v/op", n)
+	}
+
+	tr := NewRepl(ReplParams(1<<10), 0)
+	for _, m := range seq {
+		tr.Learn(m, s)
+	}
+	var view LevelView
+	tr.Levels(seq[0], s, &view) // size the reused view once
+	if n := testing.AllocsPerRun(200, func() { tr.Learn(seq[i%len(seq)], s); i++ }); n != 0 {
+		t.Errorf("Repl.Learn allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { tr.Levels(seq[i%len(seq)], s, &view); i++ }); n != 0 {
+		t.Errorf("Repl.Levels allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		tr.Relocate(seq[i%len(seq)], seq[i%len(seq)]+1, s)
+		i++
+	}); n != 0 {
+		t.Errorf("Repl.Relocate allocates %v/op", n)
+	}
+}
+
+// TestReplRelocateResetInterplay exercises the packed layout's
+// vacated-slot bookkeeping: relocate, learn through the vacated slot,
+// rewrite successors, reset, and relearn — the row arena must come
+// back clean every time.
+func TestReplRelocateResetInterplay(t *testing.T) {
+	var s NullSink
+	tr := NewRepl(Params{NumRows: 4, Assoc: 2, NumSucc: 2, NumLevels: 2}, 0)
+	var view LevelView
+
+	tr.Learn(10, s)
+	tr.Learn(12, s) // 12 is level-1 successor of 10
+	if !tr.Relocate(10, 21, s) {
+		t.Fatal("Relocate of learned row failed")
+	}
+	// Content moved with the row.
+	if !tr.Levels(21, s, &view) || len(view.Level(0)) != 1 || view.Level(0)[0] != 12 {
+		t.Fatalf("relocated row lost successors: %v", view.Level(0))
+	}
+	// The old tag is gone.
+	if tr.Levels(10, s, &view) {
+		t.Fatal("old tag still resolves after Relocate")
+	}
+	// RewriteSuccessor through the last-miss pointers updates entries
+	// in place.
+	tr.Learn(30, s)
+	tr.Learn(31, s)
+	if n := tr.RewriteSuccessor(31, 99, s); n == 0 {
+		t.Fatal("RewriteSuccessor found nothing to rewrite")
+	}
+	if !tr.Levels(30, s, &view) || len(view.Level(0)) != 1 || view.Level(0)[0] != 99 {
+		t.Fatalf("successor not rewritten: %v", view.Level(0))
+	}
+	// Reset drops everything, including relocated and rewritten rows.
+	tr.Reset()
+	for _, m := range []mem.Line{10, 21, 30, 31, 99} {
+		if tr.Levels(m, s, &view) {
+			t.Fatalf("line %v still present after Reset", m)
+		}
+	}
+	if tr.Stats() != (Stats{Lookups: 5}) {
+		t.Fatalf("stats after reset: %+v", tr.Stats())
+	}
+	// The table is fully functional after Reset.
+	tr.Learn(10, s)
+	tr.Learn(12, s)
+	if !tr.Levels(10, s, &view) || view.Level(0)[0] != 12 {
+		t.Fatal("table broken after Reset")
+	}
+}
+
+// TestLevelViewIsSnapshot pins the Levels aliasing fix: the view's
+// contents must survive table mutations that would have corrupted the
+// old aliasing slices.
+func TestLevelViewIsSnapshot(t *testing.T) {
+	var s NullSink
+	tr := NewRepl(Params{NumRows: 2, Assoc: 2, NumSucc: 2, NumLevels: 2}, 0)
+	tr.Learn(1, s)
+	tr.Learn(2, s)
+	var view LevelView
+	if !tr.Levels(1, s, &view) {
+		t.Fatal("lookup missed")
+	}
+	before := append([]mem.Line(nil), view.Level(0)...)
+	// Churn the single set hard enough to replace row 1 outright.
+	for i := mem.Line(3); i < 20; i++ {
+		tr.Learn(i, s)
+	}
+	if got := view.Level(0); len(got) != len(before) || got[0] != before[0] {
+		t.Fatalf("view changed under table mutation: %v vs %v", got, before)
+	}
+	// Writing through the view must not corrupt the table.
+	view.Level(0)[0] = 0xDEAD
+	var v2 LevelView
+	if tr.Levels(1, s, &v2) {
+		for _, l := range v2.Level(0) {
+			if l == 0xDEAD {
+				t.Fatal("view write leaked into table state")
+			}
+		}
+	}
+}
