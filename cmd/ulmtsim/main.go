@@ -8,6 +8,7 @@
 //	ulmtsim [-exp all|table1..table5|fig5..fig11|ablation|sweep|faults]
 //	        [-scale tiny|small|medium|large] [-apps CG,Mcf,...] [-seed N]
 //	        [-j N] [-faults off|light|heavy|k=v,...] [-fault-seed N]
+//	        [-fastpath on|off]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //	        [-gcpercent N] [-memlimit BYTES] [-bench-json FILE]
 //
@@ -20,9 +21,16 @@
 // The host runtime's GC is observable and steerable: -gcpercent and
 // -memlimit forward to debug.SetGCPercent / debug.SetMemoryLimit, the
 // report ends with a "# host:" footer line (peak heap, GC cycles and
-// pause, wall clock), and -bench-json writes those numbers plus a
-// SHA-256 of the report to FILE for machine-readable perf tracking
-// (see BENCH_ulmt.json at the repository root).
+// pause, wall clock, events fired and events/s), and -bench-json
+// writes those numbers plus a SHA-256 of the report to FILE for
+// machine-readable perf tracking (see BENCH_ulmt.json at the
+// repository root).
+//
+// -fastpath=off disables the CPU model's cycle-skipping fast path
+// (DESIGN.md "Cycle skipping"), forcing every issue cycle and L1-hit
+// completion through the event queue as a cross-checking oracle. The
+// rendered report is byte-identical at either setting; only the
+// host-side event churn and wall clock move.
 //
 // The run matrix of the requested experiments is pre-planned and
 // executed on -j parallel workers (default: GOMAXPROCS) with live
@@ -70,6 +78,7 @@ func run() error {
 	appsFlag := flag.String("apps", "", "comma-separated application subset (default: all nine)")
 	seed := flag.Uint64("seed", 1, "page-mapping seed")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
+	fastpathFlag := flag.String("fastpath", "on", "cycle-skipping CPU fast path (on or off); off forces every cycle through the event queue (the equivalence oracle — reports are bit-identical either way)")
 	faultSpec := flag.String("faults", "off", "fault plan: off, light, heavy, or key=value list (see internal/fault)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault plan's pseudo-random schedule")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -135,7 +144,16 @@ func run() error {
 	if *jobs < 1 {
 		return fmt.Errorf("ulmtsim: -j must be >= 1, got %d", *jobs)
 	}
-	opt := experiment.Options{Scale: scale, Seed: *seed, Faults: plan}
+	var fastpath bool
+	switch *fastpathFlag {
+	case "on":
+		fastpath = true
+	case "off":
+		fastpath = false
+	default:
+		return fmt.Errorf("ulmtsim: -fastpath must be on or off, got %q", *fastpathFlag)
+	}
+	opt := experiment.Options{Scale: scale, Seed: *seed, Faults: plan, NoFastPath: !fastpath}
 	if *appsFlag != "" {
 		for _, a := range strings.Split(*appsFlag, ",") {
 			opt.Apps = append(opt.Apps, strings.TrimSpace(a))
@@ -165,7 +183,7 @@ func run() error {
 	// bytes are identical at any -j (see the equivalence suite).
 	keys := r.PlanRuns(exps)
 	if len(keys) > 0 {
-		p := newProgress(os.Stderr, len(keys))
+		p := newProgress(os.Stderr, len(keys), r.EventsFired)
 		r.ExecuteAll(keys, *jobs, p.update)
 		p.finish()
 	}
@@ -187,9 +205,13 @@ func run() error {
 	// Host footer: how the simulator itself behaved, not the simulated
 	// machine. Kept off the hashed report body and easy to strip
 	// (single "# host:" prefix) so report diffs across runs stay clean.
-	fmt.Printf("# host: peak heap %.1f MiB, GC cycles %d, GC pause %s, wall %s\n",
+	// Events fired + rate make cycle-skip effectiveness visible per
+	// run: the report is identical at any -fastpath, the churn is not.
+	events := r.EventsFired()
+	fmt.Printf("# host: peak heap %.1f MiB, GC cycles %d, GC pause %s, wall %s, events %s (%s/s)\n",
 		float64(m.peakHeap)/(1<<20), m.gcCycles,
-		time.Duration(m.gcPauseNs).Round(time.Microsecond), wall.Round(time.Millisecond))
+		time.Duration(m.gcPauseNs).Round(time.Microsecond), wall.Round(time.Millisecond),
+		humanCount(events), humanCount(uint64(float64(events)/wall.Seconds())))
 
 	if *benchJSON != "" {
 		b, err := json.MarshalIndent(benchRecord{
@@ -202,6 +224,8 @@ func run() error {
 			PeakHeapMiB:  float64(m.peakHeap) / (1 << 20),
 			GCCycles:     m.gcCycles,
 			GCPauseMs:    float64(m.gcPauseNs) / 1e6,
+			EventsFired:  events,
+			Fastpath:     fastpath,
 			ReportSHA256: fmt.Sprintf("%x", sum.Sum(nil)),
 		}, "", "  ")
 		if err != nil {
@@ -226,7 +250,24 @@ type benchRecord struct {
 	PeakHeapMiB  float64 `json:"peak_heap_mib"`
 	GCCycles     uint32  `json:"gc_cycles"`
 	GCPauseMs    float64 `json:"gc_pause_ms"`
+	EventsFired  uint64  `json:"events_fired"`
+	Fastpath     bool    `json:"fastpath"`
 	ReportSHA256 string  `json:"report_sha256"`
+}
+
+// humanCount renders an event count compactly (1234567890 -> "1.23G")
+// for the progress line and host footer.
+func humanCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
 }
 
 // heapWatch samples the live heap to report its peak: Go exposes GC
@@ -288,10 +329,14 @@ type progress struct {
 	last  time.Time
 	total int
 	wrote bool
+	// events snapshots the engine events fired so far across
+	// completed and in-flight runs (Runner.EventsFired), so the line
+	// shows cycle-skip effectiveness live.
+	events func() uint64
 }
 
-func newProgress(w *os.File, total int) *progress {
-	return &progress{w: w, start: time.Now(), total: total}
+func newProgress(w *os.File, total int, events func() uint64) *progress {
+	return &progress{w: w, start: time.Now(), total: total, events: events}
 }
 
 // update is safe to call from many workers at once.
@@ -308,6 +353,10 @@ func (p *progress) update(done, total int) {
 	if done > 0 && done < total {
 		eta := time.Duration(float64(now.Sub(p.start)) / float64(done) * float64(total-done))
 		line += fmt.Sprintf("  eta %s", eta.Round(100*time.Millisecond))
+	}
+	if ev := p.events(); ev > 0 {
+		rate := float64(ev) / now.Sub(p.start).Seconds()
+		line += fmt.Sprintf("  events %s (%s/s)", humanCount(ev), humanCount(uint64(rate)))
 	}
 	fmt.Fprint(p.w, line)
 	p.wrote = true

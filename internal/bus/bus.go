@@ -86,7 +86,10 @@ type ring struct {
 
 func (r *ring) len() int { return r.n }
 
-func (r *ring) push(t transfer) {
+// push and pop move entries through pointers: the transfer struct is
+// wide enough that passing it by value through enqueue, both queues,
+// and the in-flight FIFO showed up as bulk-copy time in profiles.
+func (r *ring) push(t *transfer) {
 	if r.n == len(r.buf) {
 		grown := make([]transfer, max(8, 2*len(r.buf)))
 		for i := 0; i < r.n; i++ {
@@ -94,16 +97,27 @@ func (r *ring) push(t transfer) {
 		}
 		r.buf, r.head = grown, 0
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = t
+	// head < len and n <= len, so one conditional subtract replaces
+	// the modulo on this per-transfer path.
+	idx := r.head + r.n
+	if idx >= len(r.buf) {
+		idx -= len(r.buf)
+	}
+	r.buf[idx] = *t
 	r.n++
 }
 
-func (r *ring) pop() transfer {
-	t := r.buf[r.head]
-	r.buf[r.head] = transfer{} // release callback references
-	r.head = (r.head + 1) % len(r.buf)
+func (r *ring) pop(dst *transfer) {
+	e := &r.buf[r.head]
+	*dst = *e
+	// Release the callback references; the scalars may go stale, since
+	// push overwrites the whole slot.
+	e.actor, e.onDone, e.ev.P = nil, nil, nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
 	r.n--
-	return t
 }
 
 // Bus serializes transfers on a single shared medium with demand
@@ -134,31 +148,35 @@ func (b *Bus) SetStretch(f func(now, dur sim.Cycle) sim.Cycle) { b.stretch = f }
 // TransferRequest enqueues an address/command packet; onDone fires
 // when its last beat crosses. Closure form: allocates per call.
 func (b *Bus) TransferRequest(kind Kind, onDone func(done sim.Cycle)) {
-	b.enqueue(transfer{dur: b.requestCycles(), kind: kind, onDone: onDone})
+	t := transfer{dur: b.requestCycles(), kind: kind, onDone: onDone}
+	b.enqueue(&t)
 }
 
 // TransferLine enqueues a full line transfer; onDone fires when the
 // last beat lands. Closure form: allocates per call.
 func (b *Bus) TransferLine(kind Kind, onDone func(done sim.Cycle)) {
-	b.enqueue(transfer{dur: b.LineCycles(), kind: kind, onDone: onDone})
+	t := transfer{dur: b.LineCycles(), kind: kind, onDone: onDone}
+	b.enqueue(&t)
 }
 
 // TransferRequestTo enqueues an address/command packet, delivering
 // (ekind, ev) to a when the last beat crosses; the completion time is
 // the engine's Now at delivery. Allocation-free.
 func (b *Bus) TransferRequestTo(kind Kind, a sim.Actor, ekind sim.Kind, ev sim.Event) {
-	b.enqueue(transfer{dur: b.requestCycles(), kind: kind, actor: a, ekind: ekind, ev: ev})
+	t := transfer{dur: b.requestCycles(), kind: kind, actor: a, ekind: ekind, ev: ev}
+	b.enqueue(&t)
 }
 
 // TransferLineTo enqueues a full line transfer, delivering (ekind,
 // ev) to a when the last beat lands. Allocation-free.
 func (b *Bus) TransferLineTo(kind Kind, a sim.Actor, ekind sim.Kind, ev sim.Event) {
-	b.enqueue(transfer{dur: b.LineCycles(), kind: kind, actor: a, ekind: ekind, ev: ev})
+	t := transfer{dur: b.LineCycles(), kind: kind, actor: a, ekind: ekind, ev: ev}
+	b.enqueue(&t)
 }
 
 func (b *Bus) requestCycles() sim.Cycle { return b.cfg.RequestBeats * b.cfg.CyclesPerBeat }
 
-func (b *Bus) enqueue(t transfer) {
+func (b *Bus) enqueue(t *transfer) {
 	if t.kind == Demand {
 		b.highQ.push(t)
 	} else {
@@ -180,9 +198,9 @@ func (b *Bus) grant() {
 	var t transfer
 	switch {
 	case b.highQ.len() > 0:
-		t = b.highQ.pop()
+		b.highQ.pop(&t)
 	case b.lowQ.len() > 0:
-		t = b.lowQ.pop()
+		b.lowQ.pop(&t)
 	default:
 		return
 	}
@@ -197,7 +215,7 @@ func (b *Bus) grant() {
 	if t.kind == Prefetch {
 		b.st.PrefetchCycles += dur
 	}
-	b.inflight.push(t)
+	b.inflight.push(&t)
 	b.eng.Schedule(done, b, 0, sim.Event{})
 	b.granting = false
 }
@@ -212,7 +230,8 @@ func (b *Bus) grant() {
 // the previous, and same-cycle ties fire in schedule order), so the
 // FIFO pairs every event with its transfer.
 func (b *Bus) Fire(_ sim.Kind, _ sim.Event) {
-	t := b.inflight.pop()
+	var t transfer
+	b.inflight.pop(&t)
 	switch {
 	case t.actor != nil:
 		t.actor.Fire(t.ekind, t.ev)

@@ -22,6 +22,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ulmt/internal/mem"
 )
@@ -55,17 +56,33 @@ func (c Config) Validate() error {
 	if c.MSHRs <= 0 {
 		return fmt.Errorf("cache: need at least one MSHR")
 	}
+	if c.MSHRs > 64 {
+		// The MSHR file is tracked by a 64-bit occupancy bitmap; real
+		// miss files are far smaller (the paper's are 4-16 entries).
+		return fmt.Errorf("cache: at most 64 MSHRs supported, got %d", c.MSHRs)
+	}
 	return nil
 }
 
+// way holds the per-line state that is only read once a lookup has
+// resolved. The fields every lookup scans — the tag and the LRU tick
+// — live in the packed c.tags and c.lru arrays instead, so a set walk
+// touches one cache line of tags rather than striding across the full
+// way structs (the scans dominated whole-run profiles). way.tag and
+// way.valid are kept as the authoritative duplicates the packed
+// arrays mirror: eviction, write-back, and fingerprinting read them.
 type way struct {
 	tag      uint64
 	valid    bool
 	dirty    bool
-	prefetch bool // brought by a prefetch and not yet referenced
-	lastUse  uint64
+	prefetch bool   // brought by a prefetch and not yet referenced
 	filledAt uint64 // access counter at fill, for diagnostics
 }
+
+// invalidTag marks an empty way in the packed tag array. Real tags
+// are line numbers (byte addresses shifted right), so they can never
+// reach the all-ones value; Fill guards the impossible collision.
+const invalidTag = ^uint64(0)
 
 // MSHR tracks one outstanding miss (or push) on this cache.
 type MSHR struct {
@@ -89,12 +106,21 @@ type Cache struct {
 	cfg     Config
 	sets    [][]way
 	setMask uint64
-	mshrs   []MSHR
-	wbq     []mem.Line
-	wbqHead int
-	wbqLen  int
-	tick    uint64
-	st      Stats
+	// tags and lru mirror way.tag/way.valid and the per-way LRU tick
+	// as flat arrays indexed set*assoc+way, packed so lookups and
+	// victim scans stay within one or two cache lines per set.
+	tags  []uint64
+	lru   []uint64
+	mshrs []MSHR
+	// mshrBusy mirrors the valid bits of mshrs as a bitmap (bit i =
+	// entry i), so the per-miss lookup/alloc scans only occupied
+	// entries instead of walking the whole file.
+	mshrBusy uint64
+	wbq      []mem.Line
+	wbqHead  int
+	wbqLen   int
+	tick     uint64
+	st       Stats
 }
 
 // New builds an empty cache, or reports why the geometry is invalid.
@@ -110,6 +136,11 @@ func New(cfg Config) (*Cache, error) {
 	for i := range c.sets {
 		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
+	c.tags = make([]uint64, nsets*cfg.Assoc)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	c.lru = make([]uint64, nsets*cfg.Assoc)
 	c.mshrs = make([]MSHR, cfg.MSHRs)
 	// The write-back queue is a ring over a fixed backing array of
 	// WBQDepth slots: draining advances a head index, never shifts.
@@ -162,12 +193,14 @@ type LookupResult struct {
 func (c *Cache) Access(l mem.Line, write bool) LookupResult {
 	c.tick++
 	c.st.Accesses++
-	set := c.sets[c.setIndex(l)]
+	si := c.setIndex(l)
+	base := int(si) * c.cfg.Assoc
+	tags := c.tags[base : base+c.cfg.Assoc]
 	tag := uint64(l)
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
-			w.lastUse = c.tick
+	for i, t := range tags {
+		if t == tag {
+			c.lru[base+i] = c.tick
+			w := &c.sets[si][i]
 			if write {
 				w.dirty = true
 			}
@@ -184,12 +217,47 @@ func (c *Cache) Access(l mem.Line, write bool) LookupResult {
 	return LookupResult{}
 }
 
+// Probe is Access's hit path behind a presence test, in one tag walk:
+// if the line is resident it applies exactly the demand-hit effects
+// (access count, LRU touch, dirty bit, first-prefetch-touch
+// accounting) and reports ok; if not, it touches nothing — no access
+// or miss is counted — so the caller can fall back to a path whose
+// Access performs the one canonical miss accounting. It exists for
+// the CPU's cycle-skipping fast path, where Contains-then-Access
+// would walk the set twice per retired op.
+func (c *Cache) Probe(l mem.Line, write bool) (LookupResult, bool) {
+	si := c.setIndex(l)
+	base := int(si) * c.cfg.Assoc
+	tags := c.tags[base : base+c.cfg.Assoc]
+	tag := uint64(l)
+	for i := range tags {
+		if tags[i] == tag {
+			c.tick++
+			c.st.Accesses++
+			c.lru[base+i] = c.tick
+			w := &c.sets[si][i]
+			if write {
+				w.dirty = true
+			}
+			res := LookupResult{Hit: true}
+			if w.prefetch {
+				w.prefetch = false
+				c.st.PrefetchHits++
+				res.FirstPrefetchTouch = true
+			}
+			return res, true
+		}
+	}
+	return LookupResult{}, false
+}
+
 // Contains reports presence without touching LRU or stats.
 func (c *Cache) Contains(l mem.Line) bool {
-	set := c.sets[c.setIndex(l)]
+	base := int(c.setIndex(l)) * c.cfg.Assoc
+	tags := c.tags[base : base+c.cfg.Assoc]
 	tag := uint64(l)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	for i := range tags {
+		if tags[i] == tag {
 			return true
 		}
 	}
@@ -210,29 +278,37 @@ func (c *Cache) Fill(l mem.Line, dirty, prefetched bool) EvictInfo {
 	c.tick++
 	si := c.setIndex(l)
 	set := c.sets[si]
+	base := int(si) * c.cfg.Assoc
+	tags := c.tags[base : base+c.cfg.Assoc]
+	lrus := c.lru[base : base+c.cfg.Assoc]
 	tag := uint64(l)
-	victim := -1
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
+	if tag == invalidTag {
+		panic("cache: line collides with the invalid-tag sentinel")
+	}
+	// One walk does residency check and victim selection together: an
+	// invalid way (the last one, matching the historical choice) wins,
+	// else the least recently used way (first minimum on ties).
+	victim, lru := -1, -1
+	oldest := uint64(1<<64 - 1)
+	for i, t := range tags {
+		if t == invalidTag {
+			victim = i
+			continue
+		}
+		if t == tag {
 			// Refill of a resident line: merge flags.
 			if dirty {
-				w.dirty = true
+				set[i].dirty = true
 			}
 			return EvictInfo{}
 		}
-		if !w.valid {
-			victim = i
+		if u := lrus[i]; u < oldest {
+			oldest = u
+			lru = i
 		}
 	}
 	if victim < 0 {
-		oldest := uint64(1<<64 - 1)
-		for i := range set {
-			if set[i].lastUse < oldest {
-				oldest = set[i].lastUse
-				victim = i
-			}
-		}
+		victim = lru
 	}
 	w := &set[victim]
 	var ev EvictInfo
@@ -250,19 +326,24 @@ func (c *Cache) Fill(l mem.Line, dirty, prefetched bool) EvictInfo {
 			c.wbqLen++
 		}
 	}
-	*w = way{tag: tag, valid: true, dirty: dirty, prefetch: prefetched, lastUse: c.tick, filledAt: c.tick}
+	*w = way{tag: tag, valid: true, dirty: dirty, prefetch: prefetched, filledAt: c.tick}
+	tags[victim] = tag
+	lrus[victim] = c.tick
 	return ev
 }
 
 // Invalidate drops a line if present, returning whether it was dirty.
 func (c *Cache) Invalidate(l mem.Line) (wasDirty, present bool) {
-	set := c.sets[c.setIndex(l)]
+	si := c.setIndex(l)
+	base := int(si) * c.cfg.Assoc
+	tags := c.tags[base : base+c.cfg.Assoc]
 	tag := uint64(l)
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
+	for i := range tags {
+		if tags[i] == tag {
+			w := &c.sets[si][i]
 			d := w.dirty
 			*w = way{}
+			tags[i] = invalidTag
 			return d, true
 		}
 	}
@@ -273,8 +354,9 @@ func (c *Cache) Invalidate(l mem.Line) (wasDirty, present bool) {
 
 // MSHRFor returns the index of the MSHR tracking line l, or -1.
 func (c *Cache) MSHRFor(l mem.Line) int {
-	for i := range c.mshrs {
-		if c.mshrs[i].valid && c.mshrs[i].Line == l {
+	for m := c.mshrBusy; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if c.mshrs[i].Line == l {
 			return i
 		}
 	}
@@ -288,9 +370,10 @@ func (c *Cache) AllocMSHR(l mem.Line, prefetch bool) (id int, ok bool) {
 	if c.MSHRFor(l) >= 0 {
 		panic("cache: duplicate MSHR allocation")
 	}
-	for i := range c.mshrs {
-		if !c.mshrs[i].valid {
+	if free := ^c.mshrBusy; free != 0 {
+		if i := bits.TrailingZeros64(free); i < len(c.mshrs) {
 			c.mshrs[i] = MSHR{Line: l, valid: true, Prefetch: prefetch}
+			c.mshrBusy |= 1 << uint(i)
 			return i, true
 		}
 	}
@@ -309,6 +392,7 @@ func (c *Cache) StealMSHR(id int) {
 		panic("cache: stealing free MSHR")
 	}
 	c.mshrs[id].valid = false
+	c.mshrBusy &^= 1 << uint(id)
 }
 
 // FreeMSHR releases an entry when its fill completes.
@@ -317,17 +401,12 @@ func (c *Cache) FreeMSHR(id int) {
 		panic("cache: double free of MSHR")
 	}
 	c.mshrs[id].valid = false
+	c.mshrBusy &^= 1 << uint(id)
 }
 
 // FreeMSHRs counts available entries.
 func (c *Cache) FreeMSHRs() int {
-	n := 0
-	for i := range c.mshrs {
-		if !c.mshrs[i].valid {
-			n++
-		}
-	}
-	return n
+	return len(c.mshrs) - bits.OnesCount64(c.mshrBusy)
 }
 
 // PendingInSet counts outstanding MSHRs whose line maps to the same
@@ -336,8 +415,8 @@ func (c *Cache) FreeMSHRs() int {
 func (c *Cache) PendingInSet(l mem.Line) int {
 	si := c.setIndex(l)
 	n := 0
-	for i := range c.mshrs {
-		if c.mshrs[i].valid && c.setIndex(c.mshrs[i].Line) == si {
+	for m := c.mshrBusy; m != 0; m &= m - 1 {
+		if c.setIndex(c.mshrs[bits.TrailingZeros64(m)].Line) == si {
 			n++
 		}
 	}

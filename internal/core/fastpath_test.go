@@ -1,0 +1,143 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ulmt/internal/fault"
+	"ulmt/internal/mem"
+	"ulmt/internal/workload"
+)
+
+// The cycle-skipping fast path (internal/cpu/fast.go) must be
+// behaviorally invisible: every Results field except EventsFired —
+// counters, stall attribution, prefetch outcomes, DRAM and bus
+// occupancy, and the terminal cache fingerprint — must be identical
+// whether L1-hit runs retire inline or through the event queue.
+//
+// Configs are built by factory so each run gets fresh stateful parts
+// (ULMT tables, fault plans); sharing them across runs would leak
+// state from one run into the other.
+
+// runFastSlow executes ops with the fast path on and off and returns
+// both Results with EventsFired zeroed (the one field cycle skipping
+// legitimately changes).
+func runFastSlow(t *testing.T, mkcfg func() Config, name string, ops []workload.Op,
+	prep func(*System)) (fast, slow Results) {
+	t.Helper()
+	run := func(disable bool) Results {
+		cfg := mkcfg()
+		cfg.CPU.DisableFastPath = disable
+		sys := mustSystem(cfg)
+		if prep != nil {
+			prep(sys)
+		}
+		r := sys.Run(name, ops)
+		if !sys.Quiesced() {
+			t.Fatalf("DisableFastPath=%v: system did not quiesce: %s",
+				disable, sys.DrainState())
+		}
+		r.EventsFired = 0
+		return r
+	}
+	return run(false), run(true)
+}
+
+func requireSame(t *testing.T, label string, fast, slow Results) {
+	t.Helper()
+	if !reflect.DeepEqual(fast, slow) {
+		t.Errorf("%s: fast path diverged from event-driven oracle:\n fast: %+v\n slow: %+v",
+			label, fast, slow)
+	}
+}
+
+func TestFastPathEquivalenceNoPref(t *testing.T) {
+	mkcfg := func() Config {
+		cfg := DefaultConfig()
+		cfg.LinearPages = true
+		return cfg
+	}
+	// The sequential sweep re-reads a cached region, so the second
+	// rep is L1-hit-dense: long inline runs. The chase misses almost
+	// every load: constant fast-path entry and immediate exit.
+	fast, slow := runFastSlow(t, mkcfg, "seq", seqOps(4096, 3), nil)
+	requireSame(t, "seq", fast, slow)
+	fast, slow = runFastSlow(t, mkcfg, "chase", chaseOps(4096, 2), nil)
+	requireSame(t, "chase", fast, slow)
+}
+
+func TestFastPathEquivalenceFullMachine(t *testing.T) {
+	// The full prefetching machine: ULMT pushes, the hardware
+	// prefetcher, the bus and DRAM all schedule external events that
+	// bound the skip horizon.
+	mkcfg := func() Config {
+		cfg := replConfig(1 << 14)
+		cfg.Conven = mustConven(4, 6)
+		return cfg
+	}
+	fast, slow := runFastSlow(t, mkcfg, "chase", chaseOps(8192, 3), nil)
+	requireSame(t, "chase+repl+conven", fast, slow)
+
+	fast, slow = runFastSlow(t, mkcfg, "Mcf", mcfTinyOps(t), nil)
+	requireSame(t, "mcf+repl+conven", fast, slow)
+}
+
+func TestFastPathEquivalenceUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos equivalence is slow")
+	}
+	// Fault injection schedules its own plan events (drops, brownout
+	// windows, preemptions); the horizon must respect them all.
+	ops := chaseOps(8192, 2)
+	for _, seed := range []uint64{11, 22} {
+		mkcfg := func() Config { return chaosConfig(fault.Heavy(seed)) }
+		fast, slow := runFastSlow(t, mkcfg, "chase", ops, nil)
+		requireSame(t, "chaos", fast, slow)
+	}
+}
+
+func TestFastPathEquivalenceWithRemap(t *testing.T) {
+	// An OS page remap mid-run is a one-off closure event: the fast
+	// path must hand over at it, and the relocated table rows must
+	// come out the same.
+	ops := chaseOps(8192, 3)
+	var firstAddr mem.Addr
+	for _, op := range ops {
+		if op.Kind == workload.Load {
+			firstAddr = op.Addr
+			break
+		}
+	}
+	mkcfg := func() Config {
+		cfg := replConfig(1 << 14)
+		cfg.Seed = 3
+		return cfg
+	}
+	prep := func(sys *System) { sys.ScheduleRemap(400_000, firstAddr) }
+	fast, slow := runFastSlow(t, mkcfg, "remap", ops, prep)
+	requireSame(t, "remap", fast, slow)
+}
+
+func TestFastPathEquivalenceMultiprog(t *testing.T) {
+	// Timeslice preemptions pause the processor from outside; the
+	// round-robin schedule and per-app finish times must not move.
+	run := func(disable bool) MultiResults {
+		cfg := DefaultConfig()
+		cfg.LinearPages = true
+		cfg.CPU.DisableFastPath = disable
+		res, err := RunMulti(MultiConfig{
+			Base:          cfg,
+			Timeslice:     100_000,
+			SwitchPenalty: 1_000,
+			Apps:          multiApps(2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast, slow := run(false), run(true)
+	if !reflect.DeepEqual(fast, slow) {
+		t.Errorf("multiprogrammed run diverged:\n fast: %+v\n slow: %+v", fast, slow)
+	}
+}

@@ -85,6 +85,13 @@ type Results struct {
 	// out of the Busy residual (diagnostics for the CPU model).
 	CPUIssueCycles   uint64
 	CPUComputeCycles uint64
+
+	// EventsFired is the number of engine events this run executed —
+	// a host-side measure of event churn, not of simulated behavior.
+	// The cycle-skipping fast path legitimately changes it (skipped
+	// cycles fire no events), so it is excluded from every golden
+	// digest and equivalence comparison.
+	EventsFired uint64
 }
 
 // Speedup returns base.Cycles / r.Cycles, the paper's speedup metric

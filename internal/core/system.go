@@ -61,9 +61,14 @@ type System struct {
 	collectULMT func(mem.Line)
 	ulmtObs     mem.Line
 
-	// Outstanding-miss bookkeeping.
-	pendingL1 map[mem.Line]*l1Miss
-	pendingL2 map[mem.Line]*l2Miss
+	// Outstanding-miss bookkeeping. pendingL1 is indexed by L1 MSHR
+	// id, not by line: an outstanding L1 miss and its MSHR are created
+	// and released in lockstep (nothing steals L1 MSHRs — pushes
+	// arrive at the L2), so MSHRFor doubles as the line lookup and the
+	// per-miss map the slice replaced disappears from the hot path.
+	pendingL1  []*l1Miss
+	pendingL1N int
+	pendingL2  map[mem.Line]*l2Miss
 
 	// System-level write-back queue: L2 victims headed to memory.
 	wbOut []mem.Line
@@ -183,7 +188,7 @@ func NewSystem(cfg Config) (*System, error) {
 		q2:        q2,
 		q3:        q3,
 		filter:    filter,
-		pendingL1: make(map[mem.Line]*l1Miss),
+		pendingL1: make([]*l1Miss, cfg.L1.MSHRs),
 		pendingL2: make(map[mem.Line]*l2Miss),
 		missDist:  stats.MissDistanceHistogram(),
 	}
@@ -310,6 +315,7 @@ func (s *System) results(app string) Results {
 		OpsRetired:           s.proc.Retired,
 		CPUIssueCycles:       s.proc.IssueCycles,
 		CPUComputeCycles:     s.proc.ComputeCycles,
+		EventsFired:          s.eng.Fired(),
 	}
 	// Fold terminal cache state into the Fig 9 outcome categories.
 	r.Outcomes.Hits = s.l2.Stats().PrefetchHits
@@ -333,6 +339,25 @@ func (s *System) Load(a mem.Addr, id uint64, done cpu.Completer) { s.access(a, f
 // Store implements cpu.Memory. Stores are write-allocate: a miss
 // fetches the line like a load before dirtying it.
 func (s *System) Store(a mem.Addr, id uint64, done cpu.Completer) { s.access(a, true, id, done) }
+
+// ProbeL1 implements cpu.FastMemory, the synchronous L1 lookup of the
+// cycle-skipping fast path. On a hit it performs exactly the cache
+// work the event-driven hit path does — cache.Probe applies Access's
+// demand-hit effects, so LRU, dirty bits and statistics move
+// identically — and reports the L1 round trip; the caller retires
+// the access inline and no Load/Store follows. On a miss it touches
+// nothing (Probe counts neither an access nor a miss then): the
+// caller falls back to Load/Store, whose access() performs the single
+// canonical miss lookup, observes it for the processor-side
+// prefetcher, and takes an MSHR. Translate is first-touch-idempotent,
+// so probing it twice is harmless.
+func (s *System) ProbeL1(va mem.Addr, write bool) (sim.Cycle, bool) {
+	pa := s.mapper.Translate(va)
+	if _, ok := s.l1.Probe(mem.LineOf(pa, s.cfg.L1.Line), write); !ok {
+		return 0, false
+	}
+	return s.cfg.L1HitRT, true
+}
 
 func (s *System) access(va mem.Addr, write bool, id uint64, done cpu.Completer) {
 	pa := s.mapper.Translate(va)
@@ -358,8 +383,8 @@ func (s *System) issuePrefetchIntoL1(l1l mem.Line) {
 	if s.l1.Contains(l1l) {
 		return
 	}
-	if _, merged := s.pendingL1[l1l]; merged {
-		return
+	if s.l1.MSHRFor(l1l) >= 0 {
+		return // already outstanding
 	}
 	if s.l1.FreeMSHRs() <= s.cfg.CPU.MaxPendingLoads {
 		// Keep headroom for demand misses; hardware prefetchers
@@ -373,7 +398,8 @@ func (s *System) issuePrefetchIntoL1(l1l mem.Line) {
 // existing L1 MSHR, consult the L2 after the lookup delay, and on an
 // L2 miss send the request to memory.
 func (s *System) missToL2(l1l mem.Line, write, isPrefetch bool, reqID uint64, done cpu.Completer) {
-	if m, ok := s.pendingL1[l1l]; ok {
+	if id := s.l1.MSHRFor(l1l); id >= 0 {
+		m := s.pendingL1[id]
 		if done != nil {
 			m.waiters = append(m.waiters, l1Waiter{done: done, id: reqID})
 		}
@@ -397,7 +423,8 @@ func (s *System) missToL2(l1l mem.Line, write, isPrefetch bool, reqID uint64, do
 	if done != nil {
 		m.waiters = append(m.waiters, l1Waiter{done: done, id: reqID})
 	}
-	s.pendingL1[l1l] = m
+	s.pendingL1[mshrID] = m
+	s.pendingL1N++
 
 	l2l := mem.Rescale(l1l, s.cfg.L1.Line, s.cfg.L2.Line)
 	res := s.l2.Access(l2l, false)
@@ -460,12 +487,14 @@ func (s *System) retryL2Miss(l1l, l2l mem.Line, write, isPrefetch bool) {
 // completeL1 fills the L1 line and releases every processor request
 // merged on it.
 func (s *System) completeL1(l1l mem.Line, lvl cpu.Level) {
-	m, ok := s.pendingL1[l1l]
-	if !ok {
+	id := s.l1.MSHRFor(l1l)
+	if id < 0 {
 		return
 	}
-	delete(s.pendingL1, l1l)
-	s.l1.FreeMSHR(m.mshrID)
+	m := s.pendingL1[id]
+	s.pendingL1[id] = nil
+	s.pendingL1N--
+	s.l1.FreeMSHR(id)
 	s.l1.Fill(l1l, m.write, len(m.waiters) == 0)
 	s.drainL1Writebacks()
 	for _, w := range m.waiters {
@@ -539,7 +568,7 @@ func (s *System) drainL2Victims() {
 // fault schedule must never strand a request.
 func (s *System) Quiesced() bool {
 	return s.q1.Len() == 0 && s.q2.Len() == 0 && s.q3.Len() == 0 &&
-		len(s.wbOut) == 0 && len(s.pendingL1) == 0 && len(s.pendingL2) == 0 &&
+		len(s.wbOut) == 0 && s.pendingL1N == 0 && len(s.pendingL2) == 0 &&
 		s.fsb.Backlog() == 0
 }
 
@@ -554,5 +583,5 @@ func (s *System) CacheFingerprint() uint64 {
 func (s *System) DrainState() string {
 	return fmt.Sprintf("q1=%d q2=%d q3=%d wb=%d pendingL1=%d pendingL2=%d ulmtBusy=%v issueBusy=%v busBacklog=%d",
 		s.q1.Len(), s.q2.Len(), s.q3.Len(), len(s.wbOut),
-		len(s.pendingL1), len(s.pendingL2), s.ulmtBusy, s.issueBusy, s.fsb.Backlog())
+		s.pendingL1N, len(s.pendingL2), s.ulmtBusy, s.issueBusy, s.fsb.Backlog())
 }

@@ -58,6 +58,20 @@ type Memory interface {
 	Store(a mem.Addr, id uint64, done Completer)
 }
 
+// FastMemory extends Memory with a synchronous L1 probe, enabling the
+// cycle-skipping fast path (fast.go). ProbeL1 answers "would this
+// access hit the L1, and with what round trip?" without scheduling
+// anything. On a hit it must apply exactly the cache-state and
+// statistics effects the asynchronous path would (LRU touch, dirty
+// bit, hit counters) — the caller retires the access inline and no
+// Load/Store follows. On a miss it must leave all state untouched
+// and count nothing: the caller falls back to Load/Store, whose
+// lookup performs the one canonical miss accounting.
+type FastMemory interface {
+	Memory
+	ProbeL1(a mem.Addr, write bool) (rt sim.Cycle, hit bool)
+}
+
 // storeIDFlag marks a request id as a store completion. Load ids are
 // a simple counter and never reach the flag bit within any feasible
 // simulation length.
@@ -69,6 +83,13 @@ type Config struct {
 	MaxPendingLoads  int // outstanding loads (paper: 8)
 	MaxPendingStores int // outstanding stores (paper: 16)
 	Window           int // ROB-like run-ahead bound, in ops
+
+	// DisableFastPath turns off the cycle-skipping fast path
+	// (fast.go) even when the Memory implements FastMemory, forcing
+	// every issue cycle and completion through the event queue. The
+	// two paths are behaviorally identical (the equivalence suites
+	// prove it); this exists as the cross-check oracle.
+	DisableFastPath bool
 }
 
 // DefaultConfig matches Table 3's main processor.
@@ -119,7 +140,18 @@ type Processor struct {
 	nextLoadID    uint64
 	lastLoadID    uint64
 	lastLoadDone  bool
-	inflight      []inflightLoad // FIFO in issue order
+	// inflight is a FIFO of loads in issue order; inflightHead indexes
+	// the oldest entry (a head-indexed ring, so popping completed
+	// heads never reallocates).
+	inflight     []inflightLoad
+	inflightHead int
+
+	// fastMem is non-nil when the Memory supports synchronous L1
+	// probes and the fast path is enabled; ring/ringHead buffer
+	// locally retired completions awaiting their due cycle (fast.go).
+	fastMem  FastMemory
+	ring     []fastDone
+	ringHead int
 
 	blocked    blockReason
 	blockStart sim.Cycle
@@ -156,7 +188,13 @@ func New(eng *sim.Engine, cfg Config, m Memory, ops []workload.Op) (*Processor, 
 	if cfg.Window < cfg.MaxPendingLoads {
 		cfg.Window = cfg.MaxPendingLoads * 8
 	}
-	return &Processor{eng: eng, cfg: cfg, mem: m, ops: ops, lastLoadDone: true}, nil
+	p := &Processor{eng: eng, cfg: cfg, mem: m, ops: ops, lastLoadDone: true}
+	if !cfg.DisableFastPath {
+		if fm, ok := m.(FastMemory); ok {
+			p.fastMem = fm
+		}
+	}
+	return p, nil
 }
 
 // Start schedules execution; onDone fires when the last op and all
@@ -167,15 +205,36 @@ func (p *Processor) Start(onDone func()) {
 	p.scheduleStep(0)
 }
 
+// The processor's typed self-events.
+const (
+	// kindStep is an issue-cycle tick.
+	kindStep sim.Kind = iota
+	// kindDone is a locally retired L1-hit completion the fast path
+	// rematerialized into the queue on exit: I0 = request id (with
+	// storeIDFlag for stores). It behaves exactly like the memory
+	// system's own completion event for an L1 hit.
+	kindDone
+)
+
 // scheduleStep enqueues the next issue cycle as a typed self-event:
 // the processor is its own sim.Actor, so the issue loop schedules
 // allocation-free.
 func (p *Processor) scheduleStep(d sim.Cycle) {
-	p.eng.ScheduleAfter(d, p, 0, sim.Event{})
+	p.eng.ScheduleAfter(d, p, kindStep, sim.Event{})
 }
 
-// Fire implements sim.Actor: every self-event is an issue-cycle tick.
-func (p *Processor) Fire(_ sim.Kind, _ sim.Event) { p.step() }
+// Fire implements sim.Actor, dispatching the processor's self-events.
+func (p *Processor) Fire(kind sim.Kind, ev sim.Event) {
+	if kind == kindDone {
+		p.Complete(ev.I0, LevelL1)
+		return
+	}
+	if p.fastMem != nil {
+		p.fastRun()
+		return
+	}
+	p.step()
+}
 
 // Pause preempts the processor at the next issue boundary: no new
 // ops issue until Resume. In-flight memory requests keep completing
@@ -208,7 +267,15 @@ func (p *Processor) step() {
 	if p.finished || p.paused || p.blocked != notBlocked {
 		return
 	}
-	issued := 0
+	p.issueFrom(0)
+}
+
+// issueFrom runs the rest of an issue cycle through the event-driven
+// path, starting with `issued` slots already consumed. It is the body
+// of step, split out so the fast path can hand over mid-cycle at its
+// first L1 miss (exitOnMiss) without perturbing issue-width
+// accounting.
+func (p *Processor) issueFrom(issued int) {
 	for issued < p.cfg.IssueWidth && p.pc < len(p.ops) {
 		op := &p.ops[p.pc]
 		switch op.Kind {
@@ -259,17 +326,30 @@ func (p *Processor) step() {
 }
 
 func (p *Processor) windowFull() bool {
-	if len(p.inflight) == 0 {
+	// Oldest incomplete load bounds run-ahead. Completed heads pop by
+	// advancing the ring index; the backing array is reclaimed
+	// wholesale when the ring drains or on append (pushInflight).
+	for p.inflightHead < len(p.inflight) && p.inflight[p.inflightHead].done {
+		p.inflightHead++
+	}
+	if p.inflightHead == len(p.inflight) {
+		p.inflight = p.inflight[:0]
+		p.inflightHead = 0
 		return false
 	}
-	// Oldest incomplete load bounds run-ahead.
-	for len(p.inflight) > 0 && p.inflight[0].done {
-		p.inflight = p.inflight[1:]
+	return p.pc-p.inflight[p.inflightHead].opIdx >= p.cfg.Window
+}
+
+// pushInflight appends to the inflight ring, compacting consumed head
+// space instead of growing when the backing array is full: the live
+// span is bounded by the window, so steady state never reallocates.
+func (p *Processor) pushInflight(e inflightLoad) {
+	if len(p.inflight) == cap(p.inflight) && p.inflightHead > 0 {
+		n := copy(p.inflight, p.inflight[p.inflightHead:])
+		p.inflight = p.inflight[:n]
+		p.inflightHead = 0
 	}
-	if len(p.inflight) == 0 {
-		return false
-	}
-	return p.pc-p.inflight[0].opIdx >= p.cfg.Window
+	p.inflight = append(p.inflight, e)
 }
 
 func (p *Processor) issueLoad(a mem.Addr) {
@@ -278,7 +358,7 @@ func (p *Processor) issueLoad(a mem.Addr) {
 	p.lastLoadID = id
 	p.lastLoadDone = false
 	p.pendingLoads++
-	p.inflight = append(p.inflight, inflightLoad{id: id, opIdx: p.pc})
+	p.pushInflight(inflightLoad{id: id, opIdx: p.pc})
 	p.mem.Load(a, id, p)
 }
 
@@ -305,7 +385,7 @@ func (p *Processor) loadDone(id uint64, lvl Level) {
 	if id == p.lastLoadID {
 		p.lastLoadDone = true
 	}
-	for i := range p.inflight {
+	for i := p.inflightHead; i < len(p.inflight); i++ {
 		if p.inflight[i].id == id {
 			p.inflight[i].done = true
 			break

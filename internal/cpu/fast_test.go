@@ -1,0 +1,243 @@
+package cpu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ulmt/internal/mem"
+	"ulmt/internal/sim"
+	"ulmt/internal/stats"
+	"ulmt/internal/workload"
+)
+
+// fastFakeMem adds the synchronous L1 probe to fakeMem, making it a
+// FastMemory. Per the ProbeL1 contract, a hit applies the same
+// statistics effects the asynchronous path would (here: the
+// load/store counters), so the counters stay comparable across
+// fast-path settings; a miss touches nothing.
+type fastFakeMem struct{ *fakeMem }
+
+func (f *fastFakeMem) ProbeL1(a mem.Addr, write bool) (sim.Cycle, bool) {
+	if f.levelOf(a) != LevelL1 {
+		return 0, false
+	}
+	if write {
+		f.stores++
+	} else {
+		f.loads++
+	}
+	return f.lat[LevelL1], true
+}
+
+// snapshot is everything observable about a finished run. The
+// equivalence tests require it to be identical whether the
+// cycle-skipping fast path ran or the oracle event-driven path did.
+type snapshot struct {
+	Now           sim.Cycle
+	Retired       uint64
+	IssueCycles   uint64
+	ComputeCycles uint64
+	Blocked       [5]sim.Cycle
+	BlockEvents   [5]uint64
+	Breakdown     stats.ExecBreakdown
+	Loads, Stores int
+}
+
+// runMode executes ops to completion with the fast path on or off.
+// drive, if non-nil, may schedule external events (tickers, pauses)
+// against the engine and processor before the run starts.
+func runMode(t *testing.T, ops []workload.Op, disable bool,
+	levelOf func(mem.Addr) Level,
+	drive func(*sim.Engine, *Processor)) snapshot {
+	t.Helper()
+	eng := sim.NewEngine()
+	fm := &fastFakeMem{newFakeMem(eng)}
+	if levelOf != nil {
+		fm.levelOf = levelOf
+	}
+	cfg := DefaultConfig()
+	cfg.DisableFastPath = disable
+	p, err := New(eng, cfg, fm, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start(nil)
+	if drive != nil {
+		drive(eng, p)
+	}
+	eng.Run()
+	if !p.Finished() {
+		t.Fatal("processor did not finish")
+	}
+	return snapshot{
+		Now:           eng.Now(),
+		Retired:       p.Retired,
+		IssueCycles:   p.IssueCycles,
+		ComputeCycles: p.ComputeCycles,
+		Blocked:       p.BlockedByReason,
+		BlockEvents:   p.BlockEvents,
+		Breakdown:     p.Breakdown(),
+		Loads:         fm.loads,
+		Stores:        fm.stores,
+	}
+}
+
+// bothModes runs ops through the fast path and the oracle and fails
+// on any observable divergence.
+func bothModes(t *testing.T, ops []workload.Op,
+	levelOf func(mem.Addr) Level,
+	drive func(*sim.Engine, *Processor)) {
+	t.Helper()
+	fast := runMode(t, ops, false, levelOf, drive)
+	slow := runMode(t, ops, true, levelOf, drive)
+	if !reflect.DeepEqual(fast, slow) {
+		t.Errorf("fast path diverged from event-driven oracle:\n fast: %+v\n slow: %+v", fast, slow)
+	}
+}
+
+// mixLevel scripts the service level from the address, deterministic
+// across both runs: 7/10 L1, 2/10 L2, 1/10 memory.
+func mixLevel(a mem.Addr) Level {
+	switch v := (a / 64) % 10; {
+	case v < 7:
+		return LevelL1
+	case v < 9:
+		return LevelL2
+	default:
+		return LevelMem
+	}
+}
+
+// randomOps generates a deterministic op mix: ~60% loads (some
+// dependent), ~20% stores, ~20% compute of varying width.
+func randomOps(seed int64, n int) []workload.Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]workload.Op, 0, n)
+	for i := 0; i < n; i++ {
+		a := mem.Addr(rng.Intn(1<<14)) * 64
+		switch r := rng.Float64(); {
+		case r < 0.6:
+			ops = append(ops, workload.Op{Kind: workload.Load, Addr: a, Dep: rng.Float64() < 0.3})
+		case r < 0.8:
+			ops = append(ops, workload.Op{Kind: workload.Store, Addr: a})
+		default:
+			ops = append(ops, workload.Op{Kind: workload.Compute, Work: uint16(1 + rng.Intn(8))})
+		}
+	}
+	return ops
+}
+
+func TestFastPathEquivalenceRandomMixes(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234, 99999} {
+		ops := randomOps(seed, 4000)
+		bothModes(t, ops, mixLevel, nil)
+	}
+}
+
+func TestFastPathEquivalenceAllL1(t *testing.T) {
+	// The pure-hit stream exercises the longest inline runs,
+	// including load-port and store-port stalls cleared by ring
+	// completions.
+	ops := randomOps(3, 4000)
+	bothModes(t, ops, nil, nil)
+}
+
+func TestFastPathEquivalenceExternalTicker(t *testing.T) {
+	// A self-rescheduling external event every 7 cycles keeps the
+	// skip horizon tight, forcing the fast path to exit, flush its
+	// ring and rematerialize steps constantly.
+	ops := randomOps(5, 2000)
+	drive := func(eng *sim.Engine, p *Processor) {
+		var tick func()
+		tick = func() {
+			if p.Finished() {
+				return
+			}
+			eng.After(7, tick)
+		}
+		eng.After(7, tick)
+	}
+	bothModes(t, ops, mixLevel, drive)
+	bothModes(t, ops, nil, drive) // all-L1: every exit is a horizon exit
+}
+
+func TestFastPathEquivalencePauseResume(t *testing.T) {
+	ops := randomOps(9, 3000)
+	drive := func(eng *sim.Engine, p *Processor) {
+		for _, w := range []struct{ pause, resume sim.Cycle }{
+			{50, 400}, {900, 1500}, {2100, 2105},
+		} {
+			w := w
+			eng.At(w.pause, p.Pause)
+			eng.At(w.resume, p.Resume)
+		}
+	}
+	bothModes(t, ops, mixLevel, drive)
+}
+
+func TestFastPathSkipsEvents(t *testing.T) {
+	// An all-L1 stream is a closed subsystem: with the fast path on,
+	// the whole run retires inline off a handful of queue events,
+	// while the oracle fires one per step and completion.
+	ops := randomOps(11, 3000)
+	eng := sim.NewEngine()
+	p, err := New(eng, DefaultConfig(), &fastFakeMem{newFakeMem(eng)}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start(nil)
+	eng.Run()
+	if !p.Finished() {
+		t.Fatal("processor did not finish")
+	}
+	if eng.Fired() > 8 {
+		t.Errorf("fast path fired %d events for an all-L1 stream, want <= 8", eng.Fired())
+	}
+
+	slow := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.DisableFastPath = true
+	ps, err := New(slow, cfg, &fastFakeMem{newFakeMem(slow)}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Start(nil)
+	slow.Run()
+	if slow.Fired() < uint64(len(ops)) {
+		t.Errorf("oracle fired %d events, want >= one per op (%d)", slow.Fired(), len(ops))
+	}
+	if slow.Now() != eng.Now() {
+		t.Errorf("finish time diverged: fast %d, slow %d", eng.Now(), slow.Now())
+	}
+}
+
+func TestZeroAllocFastRetire(t *testing.T) {
+	// The inline retire loop must not allocate in steady state: after
+	// one warmup pass has grown the ring and inflight buffers,
+	// replaying the whole stream through fastRun is allocation-free.
+	ops := randomOps(13, 2000)
+	eng := sim.NewEngine()
+	p, err := New(eng, DefaultConfig(), &fastFakeMem{newFakeMem(eng)}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start(nil)
+	eng.Run()
+	if !p.Finished() {
+		t.Fatal("warmup run did not finish")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		// Rewind the stream; the engine queue is empty, so fastRun
+		// retires everything inline and finishes again.
+		p.pc = 0
+		p.finished = false
+		p.fastRun()
+		if !p.finished {
+			t.Fatal("fast replay did not finish")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("inline retire loop allocates: %.1f allocs/run, want 0", allocs)
+	}
+}

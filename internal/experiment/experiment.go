@@ -56,6 +56,10 @@ type Options struct {
 	// value: the default wheel). Exists for the kernel-equivalence
 	// suite; reports are bit-identical across backends.
 	Kernel sim.Kernel
+	// NoFastPath disables the CPU's cycle-skipping fast path for
+	// every run (the -fastpath=off oracle). Reports are bit-identical
+	// either way; only wall clock and event counts move.
+	NoFastPath bool
 }
 
 func (o Options) apps() []string {
@@ -121,8 +125,10 @@ type Runner struct {
 
 	// computed counts simulations actually executed (cache misses of
 	// runs), so tests can prove a pre-planned run set covers an
-	// entire report.
-	computed atomic.Uint64
+	// entire report; eventsFired totals their engine event counts,
+	// the churn the cycle-skipping fast path exists to cut.
+	computed    atomic.Uint64
+	eventsFired atomic.Uint64
 }
 
 // NewRunner builds an empty cache of experiment state.
@@ -142,6 +148,12 @@ func (r *Runner) Apps() []string { return r.opt.apps() }
 // RunsComputed reports how many simulations this runner has actually
 // executed (as opposed to served from cache).
 func (r *Runner) RunsComputed() uint64 { return r.computed.Load() }
+
+// EventsFired reports the total engine events executed across those
+// simulations, for progress display and perf tracking. Safe to call
+// concurrently with running workers (it is monotonic, not a
+// snapshot).
+func (r *Runner) EventsFired() uint64 { return r.eventsFired.Load() }
 
 // Ops returns (generating once) the op stream of an application.
 func (r *Runner) Ops(app string) []workload.Op {
@@ -195,6 +207,7 @@ func (r *Runner) BuildConfig(app, label string) core.Config {
 	cfg.Seed = r.opt.Seed
 	cfg.Faults = r.opt.Faults
 	cfg.Kernel = r.opt.Kernel
+	cfg.CPU.DisableFastPath = r.opt.NoFastPath
 	rows := r.NumRows(app)
 
 	newRepl := func(levels int) prefetch.Algorithm {
@@ -274,6 +287,7 @@ func (r *Runner) Run(app, label string) core.Results {
 		res := must(core.NewSystem(cfg)).Run(app, r.Ops(app))
 		res.Label = label
 		r.computed.Add(1)
+		r.eventsFired.Add(res.EventsFired)
 		return res
 	})
 }

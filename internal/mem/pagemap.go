@@ -19,6 +19,19 @@ type PageMapper struct {
 	linear    bool
 	table     map[uint64]uint64
 	used      map[uint64]struct{}
+	// tlb is a direct-mapped translation cache in front of table:
+	// Translate runs on every simulated access, and the map lookup it
+	// avoids is measurable across a whole run. Entries mirror table
+	// exactly (Remap invalidates), so hits return the same frame the
+	// map would.
+	tlb [tlbSize]tlbEntry
+}
+
+const tlbSize = 1024 // direct-mapped, power of two
+
+type tlbEntry struct {
+	vpn, pfn uint64
+	ok       bool
 }
 
 // PageSize4K is the page size used throughout the simulation.
@@ -48,6 +61,10 @@ func (m *PageMapper) Translate(v Addr) Addr {
 		return v
 	}
 	vpn := uint64(v) >> m.pageShift
+	off := uint64(v) & ((1 << m.pageShift) - 1)
+	if e := &m.tlb[vpn&(tlbSize-1)]; e.ok && e.vpn == vpn {
+		return Addr(e.pfn<<m.pageShift | off)
+	}
 	pfn, ok := m.table[vpn]
 	if !ok {
 		// First touch: hand out the next frame, scrambled so that
@@ -66,7 +83,7 @@ func (m *PageMapper) Translate(v Addr) Addr {
 		m.table[vpn] = pfn
 		m.used[pfn] = struct{}{}
 	}
-	off := uint64(v) & ((1 << m.pageShift) - 1)
+	m.tlb[vpn&(tlbSize-1)] = tlbEntry{vpn: vpn, pfn: pfn, ok: true}
 	return Addr(pfn<<m.pageShift | off)
 }
 
@@ -88,6 +105,7 @@ func (m *PageMapper) Remap(v Addr) (oldPFN, newPFN uint64) {
 	}
 	delete(m.table, vpn)
 	delete(m.used, old)
+	m.tlb[vpn&(tlbSize-1)] = tlbEntry{} // stale translation must not serve
 	m.Translate(Addr(vpn << m.pageShift))
 	return old, m.table[vpn]
 }

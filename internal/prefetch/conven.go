@@ -23,6 +23,7 @@ type Conven struct {
 	streams  []streamReg
 	candUp   map[mem.Line]int
 	candDown map[mem.Line]int
+	winBuf   []mem.Line
 	tick     uint64
 
 	issued uint64
@@ -36,11 +37,14 @@ func NewConven(numSeq, numPref int) (*Conven, error) {
 			numSeq, numPref)
 	}
 	return &Conven{
-		NumSeq:   numSeq,
-		NumPref:  numPref,
-		streams:  make([]streamReg, numSeq),
-		candUp:   make(map[mem.Line]int),
-		candDown: make(map[mem.Line]int),
+		NumSeq:  numSeq,
+		NumPref: numPref,
+		streams: make([]streamReg, numSeq),
+		// Sized past the trim threshold so the maps never rehash in
+		// steady state; trim clears them in place.
+		candUp:   make(map[mem.Line]int, 2*maxCand),
+		candDown: make(map[mem.Line]int, 2*maxCand),
+		winBuf:   make([]mem.Line, 0, numPref),
 	}, nil
 }
 
@@ -91,11 +95,15 @@ func (c *Conven) OnMiss(m mem.Line) []mem.Line {
 }
 
 func (c *Conven) window(m mem.Line, stride int64) []mem.Line {
-	out := make([]mem.Line, 0, c.NumPref)
+	// The contract says "valid until the next call", so one buffer is
+	// reused for every window — OnMiss runs once per L1 miss and this
+	// allocation was visible in whole-run profiles.
+	out := c.winBuf[:0]
 	for k := 1; k <= c.NumPref; k++ {
 		out = append(out, mem.Line(int64(m)+int64(k)*stride))
 	}
 	c.issued += uint64(len(out))
+	c.winBuf = out
 	return out
 }
 
@@ -137,13 +145,19 @@ func (c *Conven) allocate(expected mem.Line, stride int64) {
 	c.streams[victim] = streamReg{valid: true, expected: expected, stride: stride, lru: c.tick}
 }
 
+// maxCand bounds each candidate map; crossing it wipes the map.
+const maxCand = 64
+
 func (c *Conven) trim() {
-	const maxCand = 64
+	// Clearing in place keeps the buckets allocated: the old
+	// make-a-new-map reset forced a fresh map to grow back through
+	// every rehash size on each wipe, which dominated the prefetcher's
+	// profile cost.
 	if len(c.candUp) > maxCand {
-		c.candUp = make(map[mem.Line]int)
+		clear(c.candUp)
 	}
 	if len(c.candDown) > maxCand {
-		c.candDown = make(map[mem.Line]int)
+		clear(c.candDown)
 	}
 }
 

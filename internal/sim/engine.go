@@ -63,17 +63,26 @@ type Actor interface {
 	Fire(kind Kind, ev Event)
 }
 
-// event is the internal queue entry. actor == nil marks a closure
-// event (the At/After shim); otherwise fn is unused.
+// event is the internal queue entry, laid out to fit one 64-byte
+// cache line: millions of these move through the wheel per simulated
+// second, so the struct size is a first-order cost (a fifth of a
+// run's wall clock before it was packed). seq and kind share one
+// word — seq in the high 48 bits, kind in the low 16 — which keeps
+// (at, seq) ordering a plain seqKind comparison. actor == nil marks
+// a closure event (the At/After shim), whose func() rides in p.
 type event struct {
-	at     Cycle
-	seq    uint64
-	kind   Kind
-	i0, i1 uint64
-	p      any
-	actor  Actor
-	fn     func()
+	at      Cycle
+	seqKind uint64
+	i0, i1  uint64
+	p       any
+	actor   Actor
 }
+
+// kindBits is the kind share of seqKind: 16 bits holds every actor's
+// enum with room to spare (the largest is < 32), leaving 48 bits of
+// scheduling sequence — ~2.8e14 events, orders of magnitude beyond
+// any feasible run.
+const kindBits = 16
 
 // Kernel selects the event-queue backend.
 type Kernel int
@@ -98,9 +107,14 @@ const (
 //     queue runs dry early.
 //   - Events at the same cycle fire in scheduling order (FIFO),
 //     regardless of backend.
-//   - Fired counts exactly the events executed; RunUntil advancing
-//     the clock past quiet cycles does not increment it, so
-//     Fired+Pending is conserved by pure time passage.
+//   - Fired counts exactly the events executed; RunUntil and
+//     AdvanceTo moving the clock past quiet cycles do not increment
+//     it, so Fired+Pending is conserved by pure time passage. Under
+//     cycle skipping (the CPU's fast path) whole stretches of
+//     simulated activity retire without ever entering the queue:
+//     fast-forwarded cycles fire no events, so Fired measures event
+//     *churn*, not simulated work. Compare Fired across runs only at
+//     the same fast-path setting.
 type Engine struct {
 	now    Cycle
 	seq    uint64
@@ -127,21 +141,37 @@ func NewEngineWithKernel(k Kernel) *Engine {
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
-// push time-stamps and enqueues an internal event.
-func (e *Engine) push(c Cycle, ev event) {
+// push time-stamps and enqueues an internal event. It takes the
+// payload piecewise and builds the entry exactly once — the queue is
+// the simulator's hottest path, and every extra 64-byte struct copy
+// between here and the bucket shows up in wall clock.
+func (e *Engine) push(c Cycle, kind Kind, i0, i1 uint64, p any, a Actor) {
 	if c < e.now {
 		panic("sim: event scheduled in the past")
 	}
 	if c > Forever {
 		c = Forever
 	}
+	if uint64(kind) >= 1<<kindBits {
+		panic("sim: event kind out of range")
+	}
 	e.seq++
-	ev.at = c
-	ev.seq = e.seq
+	if e.legacy == nil {
+		if sl := e.wheel.slot(c); sl != nil {
+			// Common case: the event lands inside the wheel window.
+			// Construct it in place in the bucket — no stack temporary.
+			sl.at = c
+			sl.seqKind = e.seq<<kindBits | uint64(kind)
+			sl.i0, sl.i1 = i0, i1
+			sl.p, sl.actor = p, a
+			return
+		}
+	}
+	ev := event{at: c, seqKind: e.seq<<kindBits | uint64(kind), i0: i0, i1: i1, p: p, actor: a}
 	if e.legacy != nil {
-		e.legacy.push(ev)
+		e.legacy.push(&ev)
 	} else {
-		e.wheel.push(ev)
+		e.wheel.over.push(&ev)
 	}
 }
 
@@ -162,7 +192,7 @@ func (e *Engine) saturate(d Cycle) Cycle {
 // zero-allocation path; a must be a long-lived component.
 // Scheduling in the past panics.
 func (e *Engine) Schedule(c Cycle, a Actor, kind Kind, ev Event) {
-	e.push(c, event{kind: kind, i0: ev.I0, i1: ev.I1, p: ev.P, actor: a})
+	e.push(c, kind, ev.I0, ev.I1, ev.P, a)
 }
 
 // ScheduleAfter delivers (kind, ev) to actor a, d cycles from now,
@@ -176,7 +206,7 @@ func (e *Engine) ScheduleAfter(d Cycle, a Actor, kind Kind, ev Event) {
 // causality in the pipeline models. Each call allocates the closure:
 // use Schedule on hot paths.
 func (e *Engine) At(c Cycle, fn func()) {
-	e.push(c, event{fn: fn})
+	e.push(c, 0, 0, 0, fn, nil)
 }
 
 // After schedules fn to run d cycles from now, saturating at Forever
@@ -191,9 +221,9 @@ func (e *Engine) Step() bool {
 	var ev event
 	var ok bool
 	if e.legacy != nil {
-		ev, ok = e.legacy.pop()
+		ok = e.legacy.pop(&ev)
 	} else {
-		ev, ok = e.wheel.pop()
+		ok = e.wheel.pop(&ev)
 	}
 	if !ok {
 		return false
@@ -201,9 +231,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.fired++
 	if ev.actor != nil {
-		ev.actor.Fire(ev.kind, Event{I0: ev.i0, I1: ev.i1, P: ev.p})
+		ev.actor.Fire(Kind(ev.seqKind&(1<<kindBits-1)), Event{I0: ev.i0, I1: ev.i1, P: ev.p})
 	} else {
-		ev.fn()
+		ev.p.(func())()
 	}
 	return true
 }
@@ -214,6 +244,35 @@ func (e *Engine) peekAt() (Cycle, bool) {
 		return e.legacy.peekAt()
 	}
 	return e.wheel.peekAt()
+}
+
+// NextAt reports the cycle of the earliest pending event, or false
+// when the queue is empty. It is the skip horizon of the CPU's
+// cycle-skipping fast path: as long as locally simulated activity
+// stays strictly before NextAt, nothing else in the machine can
+// observe those cycles, so they need not pass through the queue.
+func (e *Engine) NextAt() (Cycle, bool) { return e.peekAt() }
+
+// AdvanceTo moves the clock forward to cycle c without firing
+// anything, the clock half of cycle skipping: a caller that retired
+// simulated work inline calls AdvanceTo before re-entering the event
+// flow (scheduling, completing, finishing) so that everything it
+// schedules next carries the right timestamp. Moving backwards or
+// jumping over a pending event would corrupt causality, so both
+// panic; events at exactly c stay pending and fire normally.
+func (e *Engine) AdvanceTo(c Cycle) {
+	if c < e.now {
+		panic("sim: AdvanceTo into the past")
+	}
+	if t, ok := e.peekAt(); ok && t < c {
+		panic("sim: AdvanceTo past a pending event")
+	}
+	e.now = c
+	if e.legacy == nil {
+		// No pending event precedes c, so the wheel window can jump
+		// forward wholesale (spilling overflow into the new window).
+		e.wheel.advanceTo(c)
+	}
 }
 
 // Run fires events until the queue drains.

@@ -19,13 +19,14 @@ func newLegacyHeap() *legacyHeap {
 
 func (h *legacyHeap) len() int { return h.ev.Len() }
 
-func (h *legacyHeap) push(ev event) { heap.Push(&h.ev, ev) }
+func (h *legacyHeap) push(ev *event) { heap.Push(&h.ev, *ev) }
 
-func (h *legacyHeap) pop() (event, bool) {
+func (h *legacyHeap) pop(dst *event) bool {
 	if h.ev.Len() == 0 {
-		return event{}, false
+		return false
 	}
-	return heap.Pop(&h.ev).(event), true
+	*dst = heap.Pop(&h.ev).(event)
+	return true
 }
 
 func (h *legacyHeap) peekAt() (Cycle, bool) {
@@ -42,7 +43,9 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
-	return h[i].seq < h[j].seq
+	// seq occupies seqKind's high bits, so for equal at this orders
+	// by scheduling sequence.
+	return h[i].seqKind < h[j].seqKind
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }

@@ -65,17 +65,39 @@ func (w *wheel) clear(idx int) {
 }
 
 // push files ev into its bucket, or spills it when it lies beyond the
-// window. The engine guarantees ev.at >= now >= base.
-func (w *wheel) push(ev event) {
-	if ev.at-w.base >= wheelSize {
-		w.over.push(ev)
+// window. The engine guarantees ev.at >= now >= base. The pointer
+// parameter keeps the entry from being copied at every call boundary
+// on the way in; push still stores a copy, never retains ev.
+func (w *wheel) push(ev *event) {
+	if sl := w.slot(ev.at); sl != nil {
+		*sl = *ev
 		return
 	}
-	idx := int(ev.at) & wheelMask
+	w.over.push(ev)
+}
+
+// slot reserves the next entry of at's bucket and returns it for
+// in-place construction — the engine writes event fields straight
+// into the bucket, skipping the stack-temporary copy a push-by-value
+// would cost on every scheduled event. Returns nil when at lies
+// beyond the window; the caller spills to the overflow heap. The
+// caller must assign every field: a reused slot still holds the stale
+// scalars of the event that last occupied it (pop only clears the
+// pointer-shaped fields).
+func (w *wheel) slot(at Cycle) *event {
+	if at-w.base >= wheelSize {
+		return nil
+	}
+	idx := int(at) & wheelMask
 	b := &w.buckets[idx]
-	b.ev = append(b.ev, ev)
+	if n := len(b.ev); n < cap(b.ev) {
+		b.ev = b.ev[:n+1]
+	} else {
+		b.ev = append(b.ev, event{})
+	}
 	w.mark(idx)
 	w.count++
+	return &b.ev[len(b.ev)-1]
 }
 
 // first returns the bucket index of the earliest wheel event, or -1
@@ -150,12 +172,13 @@ func (w *wheel) advanceTo(t Cycle) {
 	}
 }
 
-// pop removes and returns the earliest event, advancing the window as
-// needed.
-func (w *wheel) pop() (event, bool) {
+// pop removes the earliest event into dst, advancing the window as
+// needed. Writing through the caller's pointer (a stack slot reused
+// across the run loop) moves each entry exactly once on the way out.
+func (w *wheel) pop(dst *event) bool {
 	if w.count == 0 {
 		if w.over.len() == 0 {
-			return event{}, false
+			return false
 		}
 		// Everything pending is far-future: jump the window to it.
 		w.advanceTo(w.over.minAt())
@@ -169,8 +192,12 @@ func (w *wheel) pop() (event, bool) {
 		w.advanceTo(t)
 	}
 	b := &w.buckets[idx]
-	ev := b.ev[b.head]
-	b.ev[b.head] = event{} // release payload references
+	e := &b.ev[b.head]
+	*dst = *e
+	// Release only the pointer-shaped fields: that is all the GC cares
+	// about, and slot() overwrites every field on reuse, so clearing
+	// the scalars too would just be extra stores on the hottest loop.
+	e.p, e.actor = nil, nil
 	b.head++
 	if b.head == len(b.ev) {
 		b.ev = b.ev[:0]
@@ -178,12 +205,13 @@ func (w *wheel) pop() (event, bool) {
 		w.clear(idx)
 	}
 	w.count--
-	return ev, true
+	return true
 }
 
 // overflowHeap is a hand-rolled binary min-heap on (at, seq). Unlike
 // container/heap it never boxes: push and pop move event values
-// within one backing slice.
+// within one backing slice. seqKind compares as seq for equal at,
+// since seq occupies its high bits.
 type overflowHeap struct {
 	ev []event
 }
@@ -196,11 +224,11 @@ func (h *overflowHeap) less(i, j int) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.seqKind < b.seqKind
 }
 
-func (h *overflowHeap) push(ev event) {
-	h.ev = append(h.ev, ev)
+func (h *overflowHeap) push(ev *event) {
+	h.ev = append(h.ev, *ev)
 	i := len(h.ev) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
