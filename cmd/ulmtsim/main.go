@@ -9,8 +9,18 @@
 //	        [-scale tiny|small|medium|large] [-apps CG,Mcf,...] [-seed N]
 //	        [-j N] [-faults off|light|heavy|k=v,...] [-fault-seed N]
 //	        [-fastpath on|off]
+//	        [-checkpoint-dir DIR] [-resume] [-run-timeout D] [-retries N]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //	        [-gcpercent N] [-memlimit BYTES] [-bench-json FILE]
+//
+// With -checkpoint-dir, completed runs are persisted as they finish
+// and SIGINT/SIGTERM checkpoints whatever is mid-flight (at the next
+// quiescent point) before exiting; a later invocation with -resume
+// picks up exactly where the interrupted one stopped and renders a
+// byte-identical report. -run-timeout and -retries bound each
+// simulation attempt: a run that panics or exceeds the watchdog is
+// retried with backoff, and only counts as failed once the retry
+// budget is exhausted.
 //
 // The profiling flags wrap the whole run in the standard pprof /
 // runtime-trace collectors: -cpuprofile and -trace record while the
@@ -44,18 +54,21 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"ulmt/internal/experiment"
@@ -87,6 +100,10 @@ func run() error {
 	gcPercent := flag.Int("gcpercent", -1, "set the host GC target percentage (debug.SetGCPercent); -1 leaves GOGC alone")
 	memLimit := flag.Int64("memlimit", 0, "set a soft host heap limit in bytes (debug.SetMemoryLimit); 0 leaves it alone")
 	benchJSON := flag.String("bench-json", "", "write headline run metrics as JSON to this file")
+	ckptDir := flag.String("checkpoint-dir", "", "persist completed results and mid-flight checkpoints under this directory (enables -resume and SIGINT/SIGTERM checkpointing)")
+	resume := flag.Bool("resume", false, "reuse completed results and mid-flight checkpoints found in -checkpoint-dir instead of re-simulating")
+	runTimeout := flag.Duration("run-timeout", 0, "per-simulation wall-clock watchdog; a run past it is aborted and retried (0 = off)")
+	retries := flag.Int("retries", 2, "times a panicked or timed-out run is re-attempted before being reported failed")
 	flag.Parse()
 
 	if *gcPercent >= 0 {
@@ -153,7 +170,13 @@ func run() error {
 	default:
 		return fmt.Errorf("ulmtsim: -fastpath must be on or off, got %q", *fastpathFlag)
 	}
-	opt := experiment.Options{Scale: scale, Seed: *seed, Faults: plan, NoFastPath: !fastpath}
+	opt := experiment.Options{
+		Scale: scale, Seed: *seed, Faults: plan, NoFastPath: !fastpath,
+		Resume: *resume, RunTimeout: *runTimeout, MaxRetries: *retries,
+	}
+	if plan != nil {
+		opt.FaultTag = *faultSpec
+	}
 	if *appsFlag != "" {
 		for _, a := range strings.Split(*appsFlag, ",") {
 			opt.Apps = append(opt.Apps, strings.TrimSpace(a))
@@ -161,6 +184,9 @@ func run() error {
 	}
 	if err := opt.Validate(); err != nil {
 		return err
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("ulmtsim: -resume needs -checkpoint-dir")
 	}
 
 	exps := []string{*exp}
@@ -174,6 +200,21 @@ func run() error {
 		}
 	}
 	r := experiment.NewRunner(opt)
+	if *ckptDir != "" {
+		store, err := experiment.OpenStore(*ckptDir, opt)
+		if err != nil {
+			return err
+		}
+		r.AttachStore(store)
+	}
+
+	// SIGINT/SIGTERM cancels the run-matrix context: in-flight runs
+	// checkpoint (when -checkpoint-dir is set and the config supports
+	// it) or abort cleanly, queued runs are skipped, and the process
+	// exits without rendering a partial report. A second signal kills
+	// the process the default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	hw := newHeapWatch()
 	start := time.Now()
@@ -184,8 +225,15 @@ func run() error {
 	keys := r.PlanRuns(exps)
 	if len(keys) > 0 {
 		p := newProgress(os.Stderr, len(keys), r.EventsFired)
-		r.ExecuteAll(keys, *jobs, p.update)
+		execErr := r.ExecuteAll(ctx, keys, *jobs, p.update)
 		p.finish()
+		if execErr != nil {
+			fmt.Fprintf(os.Stderr, "ulmtsim: runs retried %d, failed %d\n", r.Retried(), r.Failed())
+			if r.Interrupted() && *ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "ulmtsim: state saved under %s; re-run with -resume to continue\n", *ckptDir)
+			}
+			return fmt.Errorf("ulmtsim: %w", execErr)
+		}
 	}
 	// Hash the report as it streams to stdout so -bench-json can
 	// fingerprint exactly what was printed.
@@ -208,10 +256,14 @@ func run() error {
 	// Events fired + rate make cycle-skip effectiveness visible per
 	// run: the report is identical at any -fastpath, the churn is not.
 	events := r.EventsFired()
-	fmt.Printf("# host: peak heap %.1f MiB, GC cycles %d, GC pause %s, wall %s, events %s (%s/s)\n",
+	rate := "0"
+	if s := wall.Seconds(); s > 0 {
+		rate = humanCount(uint64(float64(events) / s))
+	}
+	fmt.Printf("# host: peak heap %.1f MiB, GC cycles %d, GC pause %s, wall %s, events %s (%s/s), runs retried %d, failed %d\n",
 		float64(m.peakHeap)/(1<<20), m.gcCycles,
 		time.Duration(m.gcPauseNs).Round(time.Microsecond), wall.Round(time.Millisecond),
-		humanCount(events), humanCount(uint64(float64(events)/wall.Seconds())))
+		humanCount(events), rate, r.Retried(), r.Failed())
 
 	if *benchJSON != "" {
 		b, err := json.MarshalIndent(benchRecord{
@@ -350,13 +402,18 @@ func (p *progress) update(done, total int) {
 	p.last = now
 	elapsed := now.Sub(p.start).Round(100 * time.Millisecond)
 	line := fmt.Sprintf("\rruns %d/%d  elapsed %s", done, total, elapsed)
-	if done > 0 && done < total {
+	// Both rates guard the denominators: resumed runs complete in
+	// microseconds, so done > 0 with (rounded or true) zero elapsed is
+	// a real state, not a pathology.
+	if done > 0 && done < total && now.Sub(p.start) > 0 {
 		eta := time.Duration(float64(now.Sub(p.start)) / float64(done) * float64(total-done))
 		line += fmt.Sprintf("  eta %s", eta.Round(100*time.Millisecond))
 	}
 	if ev := p.events(); ev > 0 {
-		rate := float64(ev) / now.Sub(p.start).Seconds()
-		line += fmt.Sprintf("  events %s (%s/s)", humanCount(ev), humanCount(uint64(rate)))
+		line += "  events " + humanCount(ev)
+		if s := now.Sub(p.start).Seconds(); s > 0 {
+			line += fmt.Sprintf(" (%s/s)", humanCount(uint64(float64(ev)/s)))
+		}
 	}
 	fmt.Fprint(p.w, line)
 	p.wrote = true

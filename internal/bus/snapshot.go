@@ -1,0 +1,30 @@
+package bus
+
+import (
+	"ulmt/internal/checkpoint"
+	"ulmt/internal/sim"
+)
+
+// Snapshot serializes the bus's checkpointable state: the busy
+// horizon and utilization counters. Queued and in-flight transfers
+// carry actor references and completion closures that cannot cross a
+// process boundary, so the checkpoint protocol only snapshots at
+// quiescent points where all three rings are empty; Snapshot enforces
+// that invariant loudly rather than silently dropping traffic.
+func (b *Bus) Snapshot(w *checkpoint.Writer) {
+	if b.highQ.len() != 0 || b.lowQ.len() != 0 || b.inflight.len() != 0 || b.granting {
+		panic("bus: snapshot with transfers queued or in flight")
+	}
+	w.Tag("bus")
+	w.I64(int64(b.busyUntil))
+	w.I64(int64(b.st.BusyCycles))
+	w.I64(int64(b.st.PrefetchCycles))
+}
+
+// Restore rebuilds the state captured by Snapshot.
+func (b *Bus) Restore(r *checkpoint.Reader) {
+	r.Tag("bus")
+	b.busyUntil = sim.Cycle(r.I64())
+	b.st.BusyCycles = sim.Cycle(r.I64())
+	b.st.PrefetchCycles = sim.Cycle(r.I64())
+}

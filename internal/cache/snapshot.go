@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"ulmt/internal/checkpoint"
+	"ulmt/internal/mem"
+)
+
+// Snapshot serializes the cache's full microarchitectural state:
+// every way's tag/flags/fill tick, LRU ticks, MSHRs, the writeback
+// ring, and counters. Geometry (set count, associativity, queue
+// depths) is configuration and comes from the restoring run's
+// identical Config.
+func (c *Cache) Snapshot(w *checkpoint.Writer) {
+	w.Tag("cache")
+	w.Int(len(c.sets))
+	for _, set := range c.sets {
+		w.Int(len(set))
+		for _, wy := range set {
+			w.U64(uint64(wy.tag))
+			w.Bool(wy.valid)
+			w.Bool(wy.dirty)
+			w.Bool(wy.prefetch)
+			w.U64(wy.filledAt)
+		}
+	}
+	w.U64s(c.lru)
+	w.Int(len(c.mshrs))
+	for _, m := range c.mshrs {
+		w.U64(uint64(m.Line))
+		w.Bool(m.valid)
+		w.Bool(m.Prefetch)
+	}
+	w.U64(c.mshrBusy)
+	w.Int(len(c.wbq))
+	for _, l := range c.wbq {
+		w.U64(uint64(l))
+	}
+	w.Int(c.wbqHead)
+	w.Int(c.wbqLen)
+	w.U64(c.tick)
+	w.U64(c.st.Accesses)
+	w.U64(c.st.Misses)
+	w.U64(c.st.PrefetchHits)
+	w.U64(c.st.Evictions)
+	w.U64(c.st.DirtyEvicts)
+	w.U64(c.st.PrefetchEvictsUnused)
+}
+
+// Restore rebuilds the cache state captured by Snapshot into an
+// identically-configured cache, including the packed tag mirror the
+// lookup fast path reads.
+func (c *Cache) Restore(r *checkpoint.Reader) {
+	r.Tag("cache")
+	if n := r.Int(); n != len(c.sets) && r.Err() == nil {
+		r.Failf("cache set count %d, configured %d", n, len(c.sets))
+		return
+	}
+	for si := range c.sets {
+		set := c.sets[si]
+		if n := r.Int(); n != len(set) && r.Err() == nil {
+			r.Failf("cache associativity %d, configured %d", n, len(set))
+			return
+		}
+		for wi := range set {
+			wy := &set[wi]
+			wy.tag = r.U64()
+			wy.valid = r.Bool()
+			wy.dirty = r.Bool()
+			wy.prefetch = r.Bool()
+			wy.filledAt = r.U64()
+			// Rebuild the flat tag mirror exactly as fills do.
+			idx := si*len(set) + wi
+			if wy.valid {
+				c.tags[idx] = wy.tag
+			} else {
+				c.tags[idx] = invalidTag
+			}
+		}
+	}
+	r.U64sInto(c.lru)
+	if n := r.Int(); n != len(c.mshrs) && r.Err() == nil {
+		r.Failf("MSHR count %d, configured %d", n, len(c.mshrs))
+		return
+	}
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		m.Line = mem.Line(r.U64())
+		m.valid = r.Bool()
+		m.Prefetch = r.Bool()
+	}
+	c.mshrBusy = r.U64()
+	if n := r.Int(); n != len(c.wbq) && r.Err() == nil {
+		r.Failf("writeback queue depth %d, configured %d", n, len(c.wbq))
+		return
+	}
+	for i := range c.wbq {
+		c.wbq[i] = mem.Line(r.U64())
+	}
+	c.wbqHead = r.Int()
+	c.wbqLen = r.Int()
+	c.tick = r.U64()
+	c.st.Accesses = r.U64()
+	c.st.Misses = r.U64()
+	c.st.PrefetchHits = r.U64()
+	c.st.Evictions = r.U64()
+	c.st.DirtyEvicts = r.U64()
+	c.st.PrefetchEvictsUnused = r.U64()
+}

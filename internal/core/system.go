@@ -273,6 +273,14 @@ func (s *System) Engine() *sim.Engine { return s.eng }
 // Run executes the op stream to completion and returns the
 // measurements.
 func (s *System) Run(app string, ops []workload.Op) Results {
+	s.startRun(ops)
+	s.eng.Run()
+	return s.results(app)
+}
+
+// startRun attaches the processor and schedules the initial events.
+// Shared by Run and the controlled/resumable variants (checkpoint.go).
+func (s *System) startRun(ops []workload.Op) {
 	proc, err := cpu.New(s.eng, s.cfg.CPU, s, ops)
 	if err != nil {
 		// NewSystem validated cfg.CPU; failing here is an internal
@@ -285,8 +293,6 @@ func (s *System) Run(app string, ops []workload.Op) Results {
 		s.eng.At(0, s.pumpActive)
 	}
 	s.scheduleFaultRemaps(ops)
-	s.eng.Run()
-	return s.results(app)
 }
 
 func (s *System) results(app string) Results {

@@ -1,0 +1,37 @@
+package dram
+
+import (
+	"ulmt/internal/checkpoint"
+	"ulmt/internal/sim"
+)
+
+// Snapshot serializes per-bank open-row and busy state plus the
+// activity counters. Geometry (channel/bank masks and shifts) is
+// derived from Config by the restoring run.
+func (d *DRAM) Snapshot(w *checkpoint.Writer) {
+	w.Tag("dram")
+	w.Int(len(d.banks))
+	for _, b := range d.banks {
+		w.I64(b.openRow)
+		w.I64(int64(b.busyUntil))
+	}
+	w.U64(d.stats.Accesses)
+	w.U64(d.stats.RowHits)
+	w.I64(int64(d.stats.BankWaits))
+}
+
+// Restore rebuilds the bank state captured by Snapshot.
+func (d *DRAM) Restore(r *checkpoint.Reader) {
+	r.Tag("dram")
+	if n := r.Int(); n != len(d.banks) && r.Err() == nil {
+		r.Failf("DRAM bank count %d, configured %d", n, len(d.banks))
+		return
+	}
+	for i := range d.banks {
+		d.banks[i].openRow = r.I64()
+		d.banks[i].busyUntil = sim.Cycle(r.I64())
+	}
+	d.stats.Accesses = r.U64()
+	d.stats.RowHits = r.U64()
+	d.stats.BankWaits = sim.Cycle(r.I64())
+}

@@ -8,7 +8,9 @@ package experiment
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"ulmt/internal/core"
 	"ulmt/internal/fault"
@@ -60,6 +62,21 @@ type Options struct {
 	// every run (the -fastpath=off oracle). Reports are bit-identical
 	// either way; only wall clock and event counts move.
 	NoFastPath bool
+
+	// Resume, with a Store attached, reuses completed results and
+	// mid-flight checkpoints found in the checkpoint directory instead
+	// of re-simulating them (the -resume flag).
+	Resume bool
+	// RunTimeout, if positive, bounds each simulation attempt's wall
+	// clock; a run past it is aborted and retried.
+	RunTimeout time.Duration
+	// MaxRetries is how many times a panicked or timed-out run is
+	// re-attempted before being reported failed (0 = no retries).
+	MaxRetries int
+	// FaultTag is the textual fault spec behind Faults ("" when none);
+	// it exists so the checkpoint-directory manifest and fingerprint
+	// can include the fault identity without hashing Plan internals.
+	FaultTag string
 }
 
 func (o Options) apps() []string {
@@ -121,14 +138,31 @@ type Runner struct {
 	ops    *memo[string, []workload.Op]
 	traces *memo[string, []mem.Line]
 	rows   *memo[string, sizing]
-	runs   *memo[RunKey, core.Results]
+	runs   *memo[RunKey, simOutcome]
+
+	// store, when attached, persists completed results and mid-flight
+	// checkpoints so an interrupted invocation can resume (heal.go).
+	store *Store
+
+	// active registers in-flight simulations so Interrupt can stop
+	// them (checkpointing the ones that support it).
+	mu          sync.Mutex
+	active      map[RunKey]activeRun
+	interrupted atomic.Bool
 
 	// computed counts simulations actually executed (cache misses of
 	// runs), so tests can prove a pre-planned run set covers an
 	// entire report; eventsFired totals their engine event counts,
-	// the churn the cycle-skipping fast path exists to cut.
+	// the churn the cycle-skipping fast path exists to cut. retried
+	// and failed count the self-healing runner's interventions.
 	computed    atomic.Uint64
 	eventsFired atomic.Uint64
+	retried     atomic.Uint64
+	failed      atomic.Uint64
+
+	// testHook, when set (tests only), runs at the top of every
+	// attempt's panic-isolation scope, so tests can inject failures.
+	testHook func(RunKey)
 }
 
 // NewRunner builds an empty cache of experiment state.
@@ -138,9 +172,15 @@ func NewRunner(opt Options) *Runner {
 		ops:    newMemo[string, []workload.Op](),
 		traces: newMemo[string, []mem.Line](),
 		rows:   newMemo[string, sizing](),
-		runs:   newMemo[RunKey, core.Results](),
+		runs:   newMemo[RunKey, simOutcome](),
+		active: make(map[RunKey]activeRun),
 	}
 }
+
+// AttachStore gives the runner a checkpoint directory to persist
+// results and mid-flight checkpoints into. Attach before any runs
+// execute.
+func (r *Runner) AttachStore(s *Store) { r.store = s }
 
 // Apps returns the application set this runner operates over.
 func (r *Runner) Apps() []string { return r.opt.apps() }
@@ -279,17 +319,21 @@ func (r *Runner) BuildConfig(app, label string) core.Config {
 }
 
 // Run simulates (once) application app under the labeled
-// configuration. Concurrent callers of the same (app, label) pair
-// share one simulation.
+// configuration. Concurrent callers of the same (app, label) pair —
+// or of label pairs that build identical configurations (see
+// canonicalKey) — share one simulation. Renderers call Run only for
+// keys ExecuteAll already completed; a run that failed its retry
+// budget or was interrupted panics here with the stored cause, which
+// cmd/ulmtsim never reaches because it skips rendering when
+// ExecuteAll reports an error.
 func (r *Runner) Run(app, label string) core.Results {
-	return r.runs.get(RunKey{App: app, Label: label}, func() core.Results {
-		cfg := r.BuildConfig(app, label)
-		res := must(core.NewSystem(cfg)).Run(app, r.Ops(app))
-		res.Label = label
-		r.computed.Add(1)
-		r.eventsFired.Add(res.EventsFired)
-		return res
-	})
+	out := r.outcome(RunKey{App: app, Label: label})
+	if out.err != nil {
+		panic(fmt.Sprintf("experiment: run %s/%s unavailable: %v", app, label, out.err))
+	}
+	res := out.res
+	res.Label = label
+	return res
 }
 
 // Baseline returns the NoPref run for normalization.

@@ -109,7 +109,9 @@ func collectGolden(t *testing.T, kernel string) goldenFile {
 	applyKernelOption(&opt, kernel)
 	r := NewRunner(opt)
 	keys := r.PlanRuns(AllOrder)
-	r.ExecuteAll(keys, 2, nil)
+	if err := r.ExecuteAll(nil, keys, 2, nil); err != nil {
+		t.Fatalf("ExecuteAll: %v", err)
+	}
 
 	g := goldenFile{Runs: make(map[string]string, len(keys))}
 	for _, k := range keys {

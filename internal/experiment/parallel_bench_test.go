@@ -23,7 +23,9 @@ func BenchmarkRunnerParallel(b *testing.B) {
 				if len(keys) == 0 {
 					b.Fatal("empty fig7 plan")
 				}
-				r.ExecuteAll(keys, jobs, nil)
+				if err := r.ExecuteAll(nil, keys, jobs, nil); err != nil {
+					b.Fatalf("ExecuteAll: %v", err)
+				}
 			}
 		})
 	}

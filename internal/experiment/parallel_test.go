@@ -39,7 +39,9 @@ func renderAt(t *testing.T, opt Options, jobs int) []byte {
 	r := NewRunner(opt)
 	exps := equivExperiments()
 	if jobs > 1 {
-		r.ExecuteAll(r.PlanRuns(exps), jobs, nil)
+		if err := r.ExecuteAll(nil, r.PlanRuns(exps), jobs, nil); err != nil {
+			t.Fatalf("ExecuteAll: %v", err)
+		}
 	}
 	var buf bytes.Buffer
 	for _, exp := range exps {
@@ -99,10 +101,18 @@ func TestPlanCoversRender(t *testing.T) {
 	if len(keys) == 0 {
 		t.Fatal("empty plan")
 	}
-	r.ExecuteAll(keys, 4, nil)
+	if err := r.ExecuteAll(nil, keys, 4, nil); err != nil {
+		t.Fatalf("ExecuteAll: %v", err)
+	}
+	// Labels that build identical configurations share one simulation
+	// (canonicalKey), so the distinct canonical keys are what executes.
+	canon := make(map[RunKey]bool, len(keys))
+	for _, k := range keys {
+		canon[canonicalKey(k)] = true
+	}
 	planned := r.RunsComputed()
-	if planned != uint64(len(keys)) {
-		t.Fatalf("executed %d of %d planned runs", planned, len(keys))
+	if planned != uint64(len(canon)) {
+		t.Fatalf("executed %d of %d planned canonical runs (%d keys)", planned, len(canon), len(keys))
 	}
 	for _, exp := range exps {
 		if err := r.Render(io.Discard, exp); err != nil {
@@ -136,7 +146,7 @@ func TestExecuteAllProgress(t *testing.T) {
 	var mu sync.Mutex
 	var calls int
 	var max int
-	r.ExecuteAll(keys, 3, func(done, total int) {
+	err := r.ExecuteAll(nil, keys, 3, func(done, total int) {
 		mu.Lock()
 		defer mu.Unlock()
 		calls++
@@ -147,6 +157,9 @@ func TestExecuteAllProgress(t *testing.T) {
 			t.Errorf("total = %d, want %d", total, len(keys))
 		}
 	})
+	if err != nil {
+		t.Fatalf("ExecuteAll: %v", err)
+	}
 	if calls != len(keys) || max != len(keys) {
 		t.Errorf("callback calls = %d, max done = %d, want both %d", calls, max, len(keys))
 	}

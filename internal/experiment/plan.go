@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -80,17 +83,28 @@ func (r *Runner) PlanRuns(exps []string) []RunKey {
 
 // ExecuteAll runs every key on a bounded worker pool of the given
 // size (<=0 means GOMAXPROCS) and returns when all are complete.
-// Because Run memoizes with single-flight semantics, keys that share
-// op streams, miss traces or sizing compute them once, and a key
-// already cached costs nothing. onDone, if non-nil, is called after
-// each completed run with (completed, total); it may be called from
-// many goroutines at once and must synchronize itself.
+// Because runs memoize with single-flight semantics, keys that share
+// op streams, miss traces, sizing or a canonical configuration
+// compute them once, and a key already cached costs nothing. onDone,
+// if non-nil, is called after each completed run with (completed,
+// total); it may be called from many goroutines at once and must
+// synchronize itself.
+//
+// Cancelling ctx interrupts the matrix: in-flight runs checkpoint (if
+// a store is attached and they support it) or abort, queued keys are
+// skipped, and ExecuteAll returns the context's error once everything
+// has stopped — no run is killed mid-write. Runs that exhaust their
+// retry budget don't stop the matrix; they are reported in the
+// returned error after all keys have been visited.
 //
 // Results are byte-identical to running the keys serially: every
 // simulation is an isolated System whose output is a pure function of
 // (Options, app, label), so only scheduling order differs — see
 // TestParallelEquivalence.
-func (r *Runner) ExecuteAll(keys []RunKey, workers int, onDone func(completed, total int)) {
+func (r *Runner) ExecuteAll(ctx context.Context, keys []RunKey, workers int, onDone func(completed, total int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -98,9 +112,25 @@ func (r *Runner) ExecuteAll(keys []RunKey, workers int, onDone func(completed, t
 		workers = len(keys)
 	}
 	if len(keys) == 0 {
-		return
+		return nil
 	}
+
+	// Fan the context's cancellation out to the in-flight runs.
+	cancelDone := make(chan struct{})
+	cancelStopped := make(chan struct{})
+	go func() {
+		defer close(cancelStopped)
+		select {
+		case <-ctx.Done():
+			r.Interrupt()
+		case <-cancelDone:
+		}
+	}()
+
 	var done atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	var nFailed int
 	work := make(chan RunKey)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -108,7 +138,16 @@ func (r *Runner) ExecuteAll(keys []RunKey, workers int, onDone func(completed, t
 		go func() {
 			defer wg.Done()
 			for k := range work {
-				r.Run(k.App, k.Label)
+				if !r.interrupted.Load() {
+					if out := r.outcome(k); out.err != nil && !errors.Is(out.err, errInterrupted) {
+						errMu.Lock()
+						nFailed++
+						if firstErr == nil {
+							firstErr = out.err
+						}
+						errMu.Unlock()
+					}
+				}
 				n := int(done.Add(1))
 				if onDone != nil {
 					onDone(n, len(keys))
@@ -121,4 +160,17 @@ func (r *Runner) ExecuteAll(keys []RunKey, workers int, onDone func(completed, t
 	}
 	close(work)
 	wg.Wait()
+	close(cancelDone)
+	<-cancelStopped
+
+	if r.interrupted.Load() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("experiment: interrupted: %w", err)
+		}
+		return errors.New("experiment: interrupted")
+	}
+	if firstErr != nil {
+		return fmt.Errorf("experiment: %d of %d runs failed; first: %w", nFailed, len(keys), firstErr)
+	}
+	return nil
 }

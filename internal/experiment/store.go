@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ulmt/internal/core"
+)
+
+// Store persists per-run artifacts under a checkpoint directory so an
+// interrupted invocation can be resumed:
+//
+//	<dir>/manifest.json        the Options identity the directory was
+//	                           created for; reuse under different
+//	                           options is refused, not silently mixed
+//	<dir>/results/<key>.json   completed core.Results, one per run
+//	<dir>/ckpt/<key>.ckpt      mid-flight machine checkpoints written
+//	                           on SIGINT/SIGTERM (internal/checkpoint
+//	                           format), deleted once the run completes
+//
+// Results round-trip exactly: every field of core.Results is either
+// an integer, a float64 (Go's JSON encoder emits the shortest
+// representation that parses back to the same bit pattern), or the
+// Histogram with its own exact codec. A resumed invocation therefore
+// renders byte-identical reports from loaded results.
+type Store struct {
+	dir string
+	fp  [32]byte
+}
+
+// manifest pins the scope a checkpoint directory belongs to. Any
+// field changing would make persisted results silently wrong for the
+// new invocation, so OpenStore compares all of them.
+type manifest struct {
+	Scale    string `json:"scale"`
+	Seed     uint64 `json:"seed"`
+	Kernel   int    `json:"kernel"`
+	Fastpath bool   `json:"fastpath"`
+	Faults   string `json:"faults"`
+}
+
+func (o Options) manifest() manifest {
+	return manifest{
+		Scale:    o.Scale.String(),
+		Seed:     o.Seed,
+		Kernel:   int(o.Kernel),
+		Fastpath: !o.NoFastPath,
+		Faults:   o.FaultTag,
+	}
+}
+
+// fingerprint derives the config identity stamped into checkpoint
+// files: any option that changes simulated behavior participates, so
+// a checkpoint taken under one invocation shape cannot be restored
+// under another (checkpoint.ErrFingerprint).
+func (o Options) fingerprint() [32]byte {
+	m := o.manifest()
+	return sha256.Sum256([]byte(fmt.Sprintf(
+		"ulmt-run/v1|scale=%s|seed=%d|kernel=%d|fastpath=%t|faults=%s",
+		m.Scale, m.Seed, m.Kernel, m.Fastpath, m.Faults)))
+}
+
+// OpenStore creates (or re-opens) the checkpoint directory for the
+// given options. Re-opening a directory whose manifest disagrees with
+// the options is an error: mixing results across scales, seeds,
+// kernels, fastpath settings or fault plans would corrupt reports.
+func OpenStore(dir string, opt Options) (*Store, error) {
+	for _, sub := range []string{"", "results", "ckpt"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
+		}
+	}
+	want := opt.manifest()
+	path := filepath.Join(dir, "manifest.json")
+	if b, err := os.ReadFile(path); err == nil {
+		var have manifest
+		if err := json.Unmarshal(b, &have); err != nil {
+			return nil, fmt.Errorf("experiment: %s is not a manifest: %w", path, err)
+		}
+		if have != want {
+			return nil, fmt.Errorf(
+				"experiment: checkpoint dir %s was created for %+v, this invocation is %+v; use a fresh -checkpoint-dir",
+				dir, have, want)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
+	} else {
+		b, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
+		}
+	}
+	return &Store{dir: dir, fp: opt.fingerprint()}, nil
+}
+
+// Fingerprint returns the config identity checkpoints in this store
+// are stamped with.
+func (s *Store) Fingerprint() [32]byte { return s.fp }
+
+// keyStem names a run's files: a sanitized readable prefix plus an
+// FNV-32 of the exact (app, label) pair, so labels that sanitize to
+// the same string ("NumRows*4" and "NumRows/4" both lose their
+// punctuation) still get distinct files.
+func keyStem(k RunKey) string {
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+				r >= '0' && r <= '9', r == '-', r == '.':
+				return r
+			default:
+				return '_'
+			}
+		}, s)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(k.App))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Label))
+	return fmt.Sprintf("%s__%s__%08x", clean(k.App), clean(k.Label), h.Sum32())
+}
+
+func (s *Store) resultPath(k RunKey) string {
+	return filepath.Join(s.dir, "results", keyStem(k)+".json")
+}
+
+// CheckpointPath returns where a mid-flight machine checkpoint for
+// the key lives (whether or not one exists).
+func (s *Store) CheckpointPath(k RunKey) string {
+	return filepath.Join(s.dir, "ckpt", keyStem(k)+".ckpt")
+}
+
+// SaveResult persists a completed run's results atomically
+// (tmp+rename, so a crash mid-write never leaves a truncated file
+// that a later resume would trust).
+func (s *Store) SaveResult(k RunKey, res core.Results) error {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	path := s.resultPath(k)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-result-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadResult returns the persisted results for a key, if any. A file
+// that exists but does not parse is reported as an error so the
+// caller can decide to re-run rather than render garbage.
+func (s *Store) LoadResult(k RunKey) (core.Results, bool, error) {
+	b, err := os.ReadFile(s.resultPath(k))
+	if errors.Is(err, os.ErrNotExist) {
+		return core.Results{}, false, nil
+	}
+	if err != nil {
+		return core.Results{}, false, err
+	}
+	var res core.Results
+	if err := json.Unmarshal(b, &res); err != nil {
+		return core.Results{}, false, fmt.Errorf("experiment: stored result %s: %w", s.resultPath(k), err)
+	}
+	return res, true, nil
+}
+
+// RemoveCheckpoint deletes the key's mid-flight checkpoint, if any —
+// called once the run has completed and its results are persisted.
+func (s *Store) RemoveCheckpoint(k RunKey) {
+	os.Remove(s.CheckpointPath(k))
+}
+
+// HasCheckpoint reports whether a mid-flight checkpoint exists.
+func (s *Store) HasCheckpoint(k RunKey) bool {
+	_, err := os.Stat(s.CheckpointPath(k))
+	return err == nil
+}

@@ -1,0 +1,40 @@
+package memproc
+
+import (
+	"ulmt/internal/checkpoint"
+	"ulmt/internal/sim"
+)
+
+// Snapshot serializes the memory processor: its private cache and the
+// ULMT accounting. Sessions are transient — they live inside one
+// synchronous ULMT dispatch — so none exist at the quiescent points
+// where checkpoints are taken, and the session pool is a host-side
+// free list with no simulated state.
+func (mp *MemProc) Snapshot(w *checkpoint.Writer) {
+	w.Tag("memproc")
+	mp.cache.Snapshot(w)
+	w.U64(mp.st.MissesProcessed)
+	w.U64(mp.st.MissesDropped)
+	w.I64(int64(mp.st.ResponseBusy))
+	w.I64(int64(mp.st.ResponseMem))
+	w.I64(int64(mp.st.OccupancyBusy))
+	w.I64(int64(mp.st.OccupancyMem))
+	w.U64(mp.st.Instructions)
+	w.U64(mp.st.MemAccesses)
+	w.U64(mp.st.CacheMisses)
+}
+
+// Restore rebuilds the state captured by Snapshot.
+func (mp *MemProc) Restore(r *checkpoint.Reader) {
+	r.Tag("memproc")
+	mp.cache.Restore(r)
+	mp.st.MissesProcessed = r.U64()
+	mp.st.MissesDropped = r.U64()
+	mp.st.ResponseBusy = sim.Cycle(r.I64())
+	mp.st.ResponseMem = sim.Cycle(r.I64())
+	mp.st.OccupancyBusy = sim.Cycle(r.I64())
+	mp.st.OccupancyMem = sim.Cycle(r.I64())
+	mp.st.Instructions = r.U64()
+	mp.st.MemAccesses = r.U64()
+	mp.st.CacheMisses = r.U64()
+}

@@ -1,0 +1,35 @@
+package sim
+
+// Checkpoint support. The engine checkpoints only at quiescent points
+// chosen by core.System — instants where the single pending event is
+// the CPU's own step self-event — so the wheel and overflow heap
+// never serialize events: the scheduled-callback closures they carry
+// are not serializable, and the protocol makes sure they never need
+// to be. What does cross a checkpoint is the clock and the two
+// counters that feed determinism (seq, for same-cycle FIFO ordering)
+// and reporting (fired, surfaced as Results.EventsFired).
+
+// SnapshotState returns the engine clock and counters for a
+// checkpoint. The caller is responsible for having drained the event
+// queue down to re-creatable events first.
+func (e *Engine) SnapshotState() (now Cycle, seq, fired uint64) {
+	return e.now, e.seq, e.fired
+}
+
+// RestoreState rewinds a freshly constructed engine to a checkpointed
+// clock. The queue must be empty — restored events are re-created by
+// their owners after this call — and the wheel rebases onto the
+// restored clock so future Schedule calls land in the right buckets.
+func (e *Engine) RestoreState(now Cycle, seq, fired uint64) {
+	if e.Pending() != 0 {
+		panic("sim: RestoreState on an engine with pending events")
+	}
+	e.now = now
+	e.seq = seq
+	e.fired = fired
+	if e.legacy == nil {
+		// Rebase the (empty) wheel window onto the restored clock;
+		// with no queued events advanceTo only moves the base.
+		e.wheel.advanceTo(now)
+	}
+}
