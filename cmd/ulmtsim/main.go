@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	ulmtsim [-exp all|table1..table5|fig5..fig11|ablation|sweep|faults]
+//	ulmtsim [-exp all|table1..table5|fig5..fig11|ablation|sweep|faults|multicore]
 //	        [-scale tiny|small|medium|large] [-apps CG,Mcf,...] [-seed N]
 //	        [-j N] [-faults off|light|heavy|k=v,...] [-fault-seed N]
-//	        [-fastpath on|off]
+//	        [-fastpath on|off] [-cores N] [-shards N]
 //	        [-checkpoint-dir DIR] [-resume] [-run-timeout D] [-retries N]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //	        [-gcpercent N] [-memlimit BYTES] [-bench-json FILE]
@@ -51,6 +51,14 @@
 // brownouts, DRAM contention spikes, OS page remaps), so any table or
 // figure can be regenerated under degraded conditions; -exp faults
 // prints what was injected.
+//
+// -exp multicore scales the machine out: N main processors (-cores,
+// default sweep 2/4/8) run a multiprogrammed mix of the workload
+// kernels over one shared front-side bus and DRAM. With -shards 0
+// each core gets a private correlation table and memory thread; with
+// -shards S one shared table is address-hash sharded across S memory
+// threads, and prefetch pushes land in the missing core's L2. The
+// report prints per-core and aggregate tables for each machine size.
 package main
 
 import (
@@ -86,7 +94,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig5..fig11, ablation, sweep, faults)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table5, fig5..fig11, ablation, sweep, faults, multicore)")
 	scaleFlag := flag.String("scale", "small", "problem scale: tiny, small, medium, large")
 	appsFlag := flag.String("apps", "", "comma-separated application subset (default: all nine)")
 	seed := flag.Uint64("seed", 1, "page-mapping seed")
@@ -104,6 +112,8 @@ func run() error {
 	resume := flag.Bool("resume", false, "reuse completed results and mid-flight checkpoints found in -checkpoint-dir instead of re-simulating")
 	runTimeout := flag.Duration("run-timeout", 0, "per-simulation wall-clock watchdog; a run past it is aborted and retried (0 = off)")
 	retries := flag.Int("retries", 2, "times a panicked or timed-out run is re-attempted before being reported failed")
+	cores := flag.Int("cores", 0, "main-processor count for -exp multicore (0 sweeps 2/4/8)")
+	shards := flag.Int("shards", 0, "correlation-table shards for -exp multicore (0 = private per-core ULMTs, >=1 = one shared table across that many memory threads)")
 	flag.Parse()
 
 	if *gcPercent >= 0 {
@@ -158,9 +168,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *jobs < 1 {
-		return fmt.Errorf("ulmtsim: -j must be >= 1, got %d", *jobs)
-	}
 	var fastpath bool
 	switch *fastpathFlag {
 	case "on":
@@ -173,6 +180,8 @@ func run() error {
 	opt := experiment.Options{
 		Scale: scale, Seed: *seed, Faults: plan, NoFastPath: !fastpath,
 		Resume: *resume, RunTimeout: *runTimeout, MaxRetries: *retries,
+		Jobs: *jobs, CheckpointDir: *ckptDir,
+		Cores: *cores, Shards: *shards,
 	}
 	if plan != nil {
 		opt.FaultTag = *faultSpec
@@ -184,9 +193,6 @@ func run() error {
 	}
 	if err := opt.Validate(); err != nil {
 		return err
-	}
-	if *resume && *ckptDir == "" {
-		return fmt.Errorf("ulmtsim: -resume needs -checkpoint-dir")
 	}
 
 	exps := []string{*exp}
@@ -271,7 +277,9 @@ func run() error {
 			Scale:        scale.String(),
 			Seed:         *seed,
 			Jobs:         *jobs,
-			Runs:         len(keys),
+			// Planned matrix keys, or (for experiments that simulate
+			// at render time, like multicore) the runs computed.
+			Runs: max(len(keys), int(r.RunsComputed())),
 			WallSeconds:  wall.Seconds(),
 			PeakHeapMiB:  float64(m.peakHeap) / (1 << 20),
 			GCCycles:     m.gcCycles,

@@ -131,6 +131,7 @@ type Bus struct {
 	granting  bool
 	inflight  ring // granted transfers awaiting their completion event
 	st        stats.BusStats
+	tc        stats.BusTransfers
 
 	// stretch, when set, may lengthen a transfer granted at now
 	// (fault injection: bandwidth brownouts). Nil on the fast path.
@@ -212,8 +213,14 @@ func (b *Bus) grant() {
 	done := now + dur
 	b.busyUntil = done
 	b.st.BusyCycles += dur
-	if t.kind == Prefetch {
+	switch t.kind {
+	case Demand:
+		b.tc.Demand++
+	case Writeback:
+		b.tc.Writeback++
+	case Prefetch:
 		b.st.PrefetchCycles += dur
+		b.tc.Prefetch++
 	}
 	b.inflight.push(&t)
 	b.eng.Schedule(done, b, 0, sim.Event{})
@@ -257,3 +264,6 @@ func (b *Bus) LowBacklog() int { return b.lowQ.len() }
 
 // Stats returns the accumulated occupancy counters.
 func (b *Bus) Stats() stats.BusStats { return b.st }
+
+// Transfers returns the per-class granted-transfer counts.
+func (b *Bus) Transfers() stats.BusTransfers { return b.tc }

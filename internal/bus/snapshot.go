@@ -19,6 +19,9 @@ func (b *Bus) Snapshot(w *checkpoint.Writer) {
 	w.I64(int64(b.busyUntil))
 	w.I64(int64(b.st.BusyCycles))
 	w.I64(int64(b.st.PrefetchCycles))
+	w.U64(b.tc.Demand)
+	w.U64(b.tc.Writeback)
+	w.U64(b.tc.Prefetch)
 }
 
 // Restore rebuilds the state captured by Snapshot.
@@ -27,4 +30,7 @@ func (b *Bus) Restore(r *checkpoint.Reader) {
 	b.busyUntil = sim.Cycle(r.I64())
 	b.st.BusyCycles = sim.Cycle(r.I64())
 	b.st.PrefetchCycles = sim.Cycle(r.I64())
+	b.tc.Demand = r.U64()
+	b.tc.Writeback = r.U64()
+	b.tc.Prefetch = r.U64()
 }

@@ -45,7 +45,9 @@ import (
 
 // Version is the current checkpoint format version. Bump it whenever
 // the payload layout changes; Load rejects any other value.
-const Version = 1
+// Version 2: cpu snapshots carry the finished flag, bus snapshots the
+// per-class transfer counts, and multi-core payloads exist.
+const Version = 2
 
 var magic = [8]byte{'U', 'L', 'M', 'T', 'C', 'K', 'P', 'T'}
 

@@ -219,6 +219,12 @@ func (s *System) ResumePayload(app string, ops []workload.Op, payload []byte, ct
 // order; restore walks the identical order. The engine header (clock,
 // seq, fired, step-event cycle) is written by CheckpointPayload's
 // caller-side framing above and read back in ResumePayload.
+//
+// The walk splits in two: the machine-shared components (page mapper,
+// bus, DRAM) that exist once regardless of core count, then
+// snapshotCore with everything one core owns privately. The
+// multi-core checkpoint (multicore.go) reuses snapshotCore per core
+// after writing the shared components once.
 func (s *System) snapshot(w *checkpoint.Writer) {
 	w.Tag("system")
 	now, seq, fired := s.eng.SnapshotState()
@@ -232,10 +238,17 @@ func (s *System) snapshot(w *checkpoint.Writer) {
 	w.I64(int64(stepAt))
 
 	s.mapper.Snapshot(w)
-	s.l1.Snapshot(w)
-	s.l2.Snapshot(w)
 	s.fsb.Snapshot(w)
 	s.ram.Snapshot(w)
+	s.snapshotCore(w)
+}
+
+// snapshotCore serializes one core's private state: caches, memory
+// thread, controller queues, prefetchers, processor and run counters.
+func (s *System) snapshotCore(w *checkpoint.Writer) {
+	w.Tag("core")
+	s.l1.Snapshot(w)
+	s.l2.Snapshot(w)
 	w.Bool(s.mp != nil)
 	if s.mp != nil {
 		s.mp.Snapshot(w)
@@ -282,10 +295,16 @@ func (s *System) snapshot(w *checkpoint.Writer) {
 
 func (s *System) restore(r *checkpoint.Reader) {
 	s.mapper.Restore(r)
-	s.l1.Restore(r)
-	s.l2.Restore(r)
 	s.fsb.Restore(r)
 	s.ram.Restore(r)
+	s.restoreCore(r)
+}
+
+// restoreCore rebuilds the state captured by snapshotCore.
+func (s *System) restoreCore(r *checkpoint.Reader) {
+	r.Tag("core")
+	s.l1.Restore(r)
+	s.l2.Restore(r)
 	hasMP := r.Bool()
 	if hasMP != (s.mp != nil) && r.Err() == nil {
 		r.Failf("memory processor presence %v, configured %v", hasMP, s.mp != nil)

@@ -36,10 +36,17 @@ func (s *System) arriveController(pm *l2Miss) {
 	}
 
 	// A miss about to enter queues 1 and 2 that matches a waiting
-	// prefetch removes the prefetch and enters queue 1 only.
+	// prefetch removes the prefetch and enters queue 1 only. On a
+	// sharded machine the waiting pushes live in the shard set's
+	// rings, keyed by (line, core).
 	matchedQ3 := false
 	if !s.cfg.DisableCrossMatch {
-		if _, ok := s.q3.RemoveLine(pm.line); ok {
+		if s.shards != nil {
+			if s.shards.cancelPush(pm.line, s.coreID) {
+				matchedQ3 = true
+				s.xMatchDemand++
+			}
+		} else if _, ok := s.q3.RemoveLine(pm.line); ok {
 			matchedQ3 = true
 			s.xMatchDemand++
 		}
@@ -52,7 +59,7 @@ func (s *System) arriveController(pm *l2Miss) {
 		return
 	}
 
-	if s.mp != nil && !matchedQ3 && (s.cfg.Verbose || !pm.prefetch) {
+	if (s.mp != nil || s.shards != nil) && !matchedQ3 && (s.cfg.Verbose || !pm.prefetch) {
 		switch {
 		case s.dropObservationFault():
 			// Injected loss: the ULMT never sees this miss. Purely a
@@ -62,7 +69,16 @@ func (s *System) arriveController(pm *l2Miss) {
 			// the lagging ULMT catches up.
 		case s.q2.Push(queue.Entry{Line: pm.line, Prefetch: pm.prefetch, At: now}):
 			s.watchdogCheck(now)
-			s.pumpULMT()
+			if s.shards != nil {
+				if s.shards.onStage != nil {
+					s.shards.onStage(s.coreID, pm.line)
+				}
+				s.shards.kick(s.coreID)
+			} else {
+				s.pumpULMT()
+			}
+		case s.shards != nil:
+			s.shards.dropObservation(pm.line)
 		default:
 			s.mp.DropObservation()
 		}
@@ -143,7 +159,13 @@ func (s *System) pumpMemory() {
 	// room: the push path is flow-controlled, so congestion backs up
 	// into the finite queue 3 instead of an unbounded transfer list.
 	if s.fsb.LowBacklog() < 8 {
-		if e, ok := s.q3.Pop(); ok {
+		if s.shards != nil {
+			if l, ok := s.shards.popPushFor(s.coreID); ok {
+				s.issueBusy = true
+				s.eng.Schedule(now+s.cfg.IssuePortBusy, s, evIssuePush, sim.Event{I0: uint64(l)})
+				return
+			}
+		} else if e, ok := s.q3.Pop(); ok {
 			s.issueBusy = true
 			s.eng.Schedule(now+s.cfg.IssuePortBusy, s, evIssuePush, sim.Event{I0: uint64(e.Line)})
 			return
@@ -208,6 +230,8 @@ func (s *System) issuePush(line mem.Line) {
 		// ULMT prefetches pay the location-dependent hop to the
 		// DRAM array; a hardwired controller engine (DASP) does not.
 		now += s.mp.PrefetchIssueDelay()
+	} else if s.shards != nil {
+		now += s.shards.issueDelay
 	}
 	bankStart, rowHit := s.ram.Access(now, line)
 	lat := s.cfg.DRAMRowMissLat
@@ -367,6 +391,60 @@ func (s *System) depositPrefetches(lines []mem.Line) {
 		s.enqueuePrefetch(l)
 	}
 	s.pumpMemory()
+}
+
+// depositShardLines is the sharded counterpart of depositPrefetches:
+// a shard session's emitted lines arrive back at the originating
+// core's controller, run its Filter and fault gates, and enter the
+// owning shard's push ring tagged with this core.
+func (s *System) depositShardLines(lines []mem.Line) {
+	for _, l := range lines {
+		if !s.filter.Admit(l) {
+			continue
+		}
+		if s.cfg.DropPushes {
+			// On the sharded machine the pull-design ablation drops
+			// the push before it queues (the single-core machine
+			// drops at the L2 boundary instead; the per-core queue-3
+			// and bus legs it would have exercised live in the shard
+			// set here, so this is the equivalent cut point).
+			continue
+		}
+		if s.faults != nil {
+			n := s.pushSeen
+			s.pushSeen++
+			if s.faults.DropPush(n) {
+				s.inj.PushesDropped++
+				continue
+			}
+			if d := s.faults.PushDelay(n); d > 0 {
+				s.inj.PushesDelayed++
+				s.eng.After(d, func() {
+					s.enqueueShardPrefetch(l)
+					s.pumpMemory()
+				})
+				continue
+			}
+		}
+		s.enqueueShardPrefetch(l)
+	}
+	s.pumpMemory()
+}
+
+// enqueueShardPrefetch applies the cross-match and admission for one
+// post-Filter sharded prefetch. Unlike enqueuePrefetch it never
+// removes the matching queue-2 entry: on the sharded machine queue 2
+// is the delivery staging buffer, and removing from it would make the
+// observation stream the shards see depend on deposit timing — which
+// is shard-count-dependent — breaking the re-sharding invariant.
+func (s *System) enqueueShardPrefetch(l mem.Line) {
+	if !s.cfg.DisableCrossMatch {
+		if s.q1.ContainsLine(l) || s.q2.ContainsLine(l) {
+			s.xMatchPush++
+			return
+		}
+	}
+	s.shards.pushQ3(l, s.coreID, s)
 }
 
 // enqueuePrefetch applies the queue-3 cross-match and admission for

@@ -4,8 +4,10 @@ import (
 	"testing"
 	"testing/quick"
 
+	"ulmt/internal/bus"
 	"ulmt/internal/mem"
 	"ulmt/internal/prefetch"
+	"ulmt/internal/sim"
 	"ulmt/internal/table"
 	"ulmt/internal/workload"
 )
@@ -135,5 +137,154 @@ func TestSystemInvariantsAllConfigs(t *testing.T) {
 		if r.Exec.Total() != r.Cycles {
 			t.Errorf("config %d: breakdown mismatch", i)
 		}
+	}
+}
+
+// busRec is one observed bus completion for the property tests below.
+type busRec struct {
+	kind bus.Kind
+	seq  int
+	done sim.Cycle
+}
+
+// TestBusNoOverlapRandomTraffic drives a standalone shared bus with
+// an arbitrary arrival pattern from several requesters and checks the
+// medium's physical invariants: transfers never overlap (each grant
+// begins at or after the previous transfer's last beat), every
+// enqueued transfer completes exactly once, and the per-class
+// transfer counters agree with what was enqueued.
+func TestBusNoOverlapRandomTraffic(t *testing.T) {
+	eng := sim.NewEngine()
+	b := bus.New(eng, bus.DefaultConfig())
+
+	var prevDone sim.Cycle
+	grants := 0
+	b.SetStretch(func(now, dur sim.Cycle) sim.Cycle {
+		if now < prevDone {
+			t.Fatalf("grant at %d overlaps transfer busy until %d", now, prevDone)
+		}
+		prevDone = now + dur
+		grants++
+		return dur
+	})
+
+	var got []busRec
+	enq := map[bus.Kind]int{}
+	state := uint64(7)
+	next := func() uint64 { state = state*6364136223846793005 + 13; return state >> 8 }
+	// Arrivals spread over time from three synthetic requesters, with
+	// clustered bursts to force sustained backlog. Per-class sequence
+	// numbers are assigned at arrival time (inside the At callback):
+	// FIFO order is promised with respect to when a transfer reaches
+	// the bus, not when the test constructed it.
+	for i := 0; i < 300; i++ {
+		kind := bus.Kind(next() % 3)
+		at := sim.Cycle(next() % 512)
+		line := next()%2 == 0
+		k := kind
+		eng.At(at, func() {
+			s := enq[k]
+			enq[k] = s + 1
+			onDone := func(done sim.Cycle) {
+				got = append(got, busRec{kind: k, seq: s, done: done})
+			}
+			if line {
+				b.TransferLine(k, onDone)
+			} else {
+				b.TransferRequest(k, onDone)
+			}
+		})
+	}
+	eng.Run()
+
+	if len(got) != 300 {
+		t.Fatalf("enqueued 300 transfers, %d completed", len(got))
+	}
+	if grants != 300 {
+		t.Fatalf("observed %d grants for 300 transfers", grants)
+	}
+	tc := b.Transfers()
+	if int(tc.Demand) != enq[bus.Demand] || int(tc.Writeback) != enq[bus.Writeback] || int(tc.Prefetch) != enq[bus.Prefetch] {
+		t.Fatalf("transfer counters %+v do not match enqueued %v", tc, enq)
+	}
+	// Within a class, the bus is a FIFO: completions must come back
+	// in enqueue order. (Demand has its own queue; writeback and
+	// prefetch share the low-priority queue, so each class is still
+	// individually ordered.)
+	last := map[bus.Kind]int{bus.Demand: -1, bus.Writeback: -1, bus.Prefetch: -1}
+	for _, r := range got {
+		if r.seq <= last[r.kind] {
+			t.Fatalf("kind %d completed out of order: seq %d after %d", r.kind, r.seq, last[r.kind])
+		}
+		last[r.kind] = r.seq
+	}
+}
+
+// TestBusGrantFairnessBound pins the arbiter's service guarantees
+// under saturation. With every transfer enqueued up front: demand
+// traffic is strictly prioritized (all demands finish before any
+// low-priority transfer), low-priority traffic is served FIFO with no
+// reordering between writebacks and prefetches, and the bus is
+// work-conserving — the last completion lands exactly at the sum of
+// all transfer durations, so no transfer waits longer than the total
+// work ahead of it.
+func TestBusGrantFairnessBound(t *testing.T) {
+	eng := sim.NewEngine()
+	b := bus.New(eng, bus.DefaultConfig())
+
+	var got []busRec
+	var want sim.Cycle
+	seq := 0
+	add := func(kind bus.Kind, line bool) {
+		s := seq
+		seq++
+		onDone := func(done sim.Cycle) { got = append(got, busRec{kind: kind, seq: s, done: done}) }
+		if line {
+			b.TransferLine(kind, onDone)
+			want += b.LineCycles()
+		} else {
+			b.TransferRequest(kind, onDone)
+			want += bus.DefaultConfig().RequestBeats * bus.DefaultConfig().CyclesPerBeat
+		}
+	}
+	// Interleave the classes so priority, not arrival order, decides.
+	for i := 0; i < 20; i++ {
+		add(bus.Writeback, true)
+		add(bus.Demand, i%2 == 0)
+		add(bus.Prefetch, true)
+	}
+	eng.Run()
+
+	if len(got) != seq {
+		t.Fatalf("enqueued %d transfers, %d completed", seq, len(got))
+	}
+	if final := got[len(got)-1].done; final != want {
+		t.Fatalf("last completion at %d, total work is %d: bus idled under backlog", final, want)
+	}
+	// All demands precede every low-priority completion. The very
+	// first grant happens before priorities can apply (the medium is
+	// free when the first writeback arrives), so skip it.
+	lowSeen := false
+	for i, r := range got {
+		if i == 0 {
+			continue
+		}
+		if r.kind == bus.Demand && lowSeen {
+			t.Fatalf("demand seq %d completed after a low-priority transfer", r.seq)
+		}
+		if r.kind != bus.Demand {
+			lowSeen = true
+		}
+	}
+	// Low-priority completions keep their mutual enqueue order.
+	lastLow := -1
+	for _, r := range got {
+		if r.kind == bus.Demand {
+			continue
+		}
+		if r.seq <= lastLow {
+			t.Fatalf("low-priority transfer seq %d completed after seq %d", r.seq, lastLow)
+		}
+		lastLow = r.seq
 	}
 }

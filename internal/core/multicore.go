@@ -1,0 +1,474 @@
+package core
+
+import (
+	"fmt"
+
+	"ulmt/internal/bus"
+	"ulmt/internal/checkpoint"
+	"ulmt/internal/cpu"
+	"ulmt/internal/dram"
+	"ulmt/internal/fault"
+	"ulmt/internal/mem"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/sim"
+	"ulmt/internal/stats"
+	"ulmt/internal/workload"
+)
+
+// Multi-core scale-out: N main processors, each with private L1/L2
+// and its own memory-controller queues, arbitrating over ONE shared
+// front-side bus and ONE shared DRAM. Each core runs its own
+// application in a disjoint virtual region (like RunMulti, which
+// time-shares one core instead). The memory-side prefetcher scales
+// two ways:
+//
+//   - Shards == 0: each core gets its own private ULMT and memory
+//     processor, contending in the shared DRAM — N replicas of the
+//     paper's Fig 3 machine on one bus. With one core this is
+//     event-for-event the single-core machine.
+//   - Shards >= 1: one shared correlation algorithm sharded by
+//     address across memory-thread instances (shard.go), with
+//     batched observation delivery and per-shard push rings routing
+//     each prefetch back to the originating core's L2.
+
+// CoreApp is one core's application.
+type CoreApp struct {
+	Name string
+	Ops  []workload.Op
+	// ULMT is this core's private memory thread (Shards == 0 only);
+	// build each instance with a disjoint table base so private
+	// tables do not alias in physical memory. Ignored when sharding.
+	ULMT prefetch.Algorithm
+}
+
+// MulticoreConfig describes an N-core machine.
+type MulticoreConfig struct {
+	// Base supplies the per-core machine and the shared bus/DRAM
+	// geometry. Its ULMT, Active, Conven and DASP fields must be nil:
+	// prefetching is configured per core (CoreApp.ULMT) or shared
+	// (SharedULMT), and the single-instance prefetcher state of
+	// Conven/DASP cannot be replicated safely.
+	Base Config
+	// Apps assigns one application per core; len(Apps) is N.
+	Apps []CoreApp
+	// Shards selects the memory-side prefetcher layout: 0 for
+	// private per-core ULMTs, >= 1 for that many table shards over
+	// SharedULMT.
+	Shards int
+	// SharedULMT is the shared algorithm sharded by address; required
+	// exactly when Shards >= 1.
+	SharedULMT prefetch.Algorithm
+	// Batch is observations drained per delivery round (default 4).
+	Batch int
+	// DeliverLat is the staging-to-delivery latency in cycles
+	// (default 4): the cost of handing a miss observation from a
+	// core's controller queue to the shard set.
+	DeliverLat sim.Cycle
+}
+
+// MulticoreResults reports an N-core run: per-core Results plus the
+// machine-wide aggregates the conservation invariants check.
+type MulticoreResults struct {
+	// Cores holds one Results per core (App = the core's app name).
+	// Each core's Cycles is the whole machine's run length; FinishAt
+	// is when that core's stream retired.
+	Cores    []Results
+	FinishAt []sim.Cycle
+	// TotalCycles is when the machine fully drained.
+	TotalCycles sim.Cycle
+	// Bus and BusTransfers are the shared bus occupancy and per-class
+	// granted-transfer counts.
+	Bus          stats.BusStats
+	BusTransfers stats.BusTransfers
+	// ULMT aggregates memory-thread activity machine-wide; ShardULMT
+	// breaks it out per shard when sharding (nil otherwise).
+	ULMT      stats.ULMTStats
+	ShardULMT []stats.ULMTStats
+	// ShardFaults counts fault events injected at the shard set (the
+	// shared thread's session stalls); per-core injections are in
+	// each core's Results.Faults.
+	ShardFaults fault.Injected
+	EventsFired uint64
+}
+
+// MultiSystem is the assembled N-core machine.
+type MultiSystem struct {
+	mc     MulticoreConfig
+	eng    *sim.Engine
+	fsb    *bus.Bus
+	ram    *dram.DRAM
+	mapper *mem.PageMapper
+	cores  []*System
+	shards *shardSet
+
+	started   bool
+	finished  []bool
+	finishAt  []sim.Cycle
+	remaining int
+}
+
+// NewMultiSystem builds the machine, or reports the first
+// configuration error.
+func NewMultiSystem(mc MulticoreConfig) (*MultiSystem, error) {
+	if len(mc.Apps) == 0 {
+		return nil, fmt.Errorf("core: multicore needs at least one app")
+	}
+	if mc.Base.ULMT != nil || mc.Base.Active != nil {
+		return nil, fmt.Errorf("core: multicore Base.ULMT/Active must be nil; use CoreApp.ULMT or SharedULMT")
+	}
+	if mc.Base.Conven != nil || mc.Base.DASP != nil {
+		return nil, fmt.Errorf("core: multicore does not support Conven/DASP (single-instance prefetcher state)")
+	}
+	if mc.Shards < 0 {
+		return nil, fmt.Errorf("core: shard count must be >= 0, got %d", mc.Shards)
+	}
+	if mc.Shards >= 1 && mc.SharedULMT == nil {
+		return nil, fmt.Errorf("core: Shards >= 1 needs SharedULMT")
+	}
+	if mc.Shards == 0 && mc.SharedULMT != nil {
+		return nil, fmt.Errorf("core: SharedULMT set but Shards == 0; use CoreApp.ULMT for private threads")
+	}
+
+	base := mc.Base
+	eng := sim.NewEngineWithKernel(base.Kernel)
+	d, err := dram.New(base.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	fsb := bus.New(eng, base.Bus)
+	// One page mapper for the whole machine: cores share physical
+	// memory, and disjoint virtual regions (offsetOps) keep their
+	// pages from aliasing.
+	mapper := mem.NewPageMapper(base.LinearPages, base.Seed)
+
+	ms := &MultiSystem{
+		mc:       mc,
+		eng:      eng,
+		fsb:      fsb,
+		ram:      d,
+		mapper:   mapper,
+		finished: make([]bool, len(mc.Apps)),
+		finishAt: make([]sim.Cycle, len(mc.Apps)),
+	}
+	for i, app := range mc.Apps {
+		cfg := base
+		if mc.Shards == 0 {
+			cfg.ULMT = app.ULMT
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("core %d: %w", i, err)
+		}
+		s, err := newSystemOn(cfg, eng, fsb, d, mapper)
+		if err != nil {
+			return nil, fmt.Errorf("core %d: %w", i, err)
+		}
+		s.coreID = i
+		ms.cores = append(ms.cores, s)
+	}
+	if mc.Shards >= 1 {
+		ss, err := newShardSet(eng, base, mc.SharedULMT, mc.Shards, mc.Batch, mc.DeliverLat)
+		if err != nil {
+			return nil, err
+		}
+		ss.cores = ms.cores
+		ss.pendingDeliver = make([]bool, len(ms.cores))
+		ms.shards = ss
+		for _, s := range ms.cores {
+			s.shards = ss
+		}
+	}
+	if base.Faults.Enabled() {
+		// Bandwidth hooks are machine-wide singletons (one bus, one
+		// DRAM); wire them through core 0, whose Results.Faults then
+		// carries the machine's bandwidth injections.
+		ms.cores[0].wireFaultHooks()
+	}
+	return ms, nil
+}
+
+// Engine exposes the shared simulation clock.
+func (ms *MultiSystem) Engine() *sim.Engine { return ms.eng }
+
+// coreOps returns core i's op stream relocated into its private
+// virtual region. Region stride 1<<40 keeps N cores' heaps disjoint
+// while staying far below the correlation-table base (1<<44).
+func (ms *MultiSystem) coreOps(i int) []workload.Op {
+	return offsetOps(ms.mc.Apps[i].Ops, mem.Addr(uint64(i))<<40)
+}
+
+// start attaches every core's processor and schedules the initial
+// events.
+func (ms *MultiSystem) start() {
+	ms.started = true
+	ms.remaining = len(ms.cores)
+	for i := range ms.cores {
+		s := ms.cores[i]
+		ops := ms.coreOps(i)
+		proc, err := cpu.New(ms.eng, s.cfg.CPU, s, ops)
+		if err != nil {
+			// NewMultiSystem validated every core config.
+			panic(err)
+		}
+		s.proc = proc
+		i := i
+		proc.Start(func() {
+			ms.finished[i] = true
+			ms.finishAt[i] = ms.eng.Now()
+			ms.remaining--
+		})
+		s.scheduleFaultRemaps(ops)
+	}
+}
+
+// Run executes every core's stream to completion and returns the
+// measurements.
+func (ms *MultiSystem) Run() MulticoreResults {
+	ms.start()
+	ms.eng.Run()
+	return ms.collect()
+}
+
+func (ms *MultiSystem) collect() MulticoreResults {
+	res := MulticoreResults{
+		TotalCycles:  ms.eng.Now(),
+		Bus:          ms.fsb.Stats(),
+		BusTransfers: ms.fsb.Transfers(),
+		EventsFired:  ms.eng.Fired(),
+		FinishAt:     append([]sim.Cycle(nil), ms.finishAt...),
+	}
+	for i, s := range ms.cores {
+		r := s.results(ms.mc.Apps[i].Name)
+		res.Cores = append(res.Cores, r)
+		res.ULMT.MissesProcessed += r.ULMT.MissesProcessed
+		res.ULMT.MissesDropped += r.ULMT.MissesDropped
+		res.ULMT.ResponseBusy += r.ULMT.ResponseBusy
+		res.ULMT.ResponseMem += r.ULMT.ResponseMem
+		res.ULMT.OccupancyBusy += r.ULMT.OccupancyBusy
+		res.ULMT.OccupancyMem += r.ULMT.OccupancyMem
+		res.ULMT.Instructions += r.ULMT.Instructions
+		res.ULMT.MemAccesses += r.ULMT.MemAccesses
+		res.ULMT.CacheMisses += r.ULMT.CacheMisses
+	}
+	if ms.shards != nil {
+		res.ULMT = ms.shards.ulmtStats()
+		res.ShardULMT = ms.shards.perShard()
+		res.ShardFaults = ms.shards.inj
+	}
+	return res
+}
+
+// Quiesced reports whether every core and the shard set have fully
+// drained.
+func (ms *MultiSystem) Quiesced() bool {
+	for _, s := range ms.cores {
+		if !s.Quiesced() {
+			return false
+		}
+	}
+	return ms.shards == nil || ms.shards.idle()
+}
+
+// --- Controlled runs and checkpointing ---
+
+// SupportsCheckpoint mirrors System.SupportsCheckpoint for the
+// N-core machine.
+func (ms *MultiSystem) SupportsCheckpoint() bool {
+	for _, s := range ms.cores {
+		if s.faults != nil {
+			return false
+		}
+		if !prefetch.SupportsSnapshot(s.ulmt) {
+			return false
+		}
+	}
+	if ms.shards != nil && !prefetch.SupportsSnapshot(ms.shards.alg) {
+		return false
+	}
+	return true
+}
+
+// checkpointReady reports a machine-wide quiescent point: every
+// unfinished core idle at its step event, every finished core fully
+// drained, the shard set idle, and the event queue holding exactly
+// one step event per unfinished core.
+func (ms *MultiSystem) checkpointReady() bool {
+	unfinished := 0
+	for i, s := range ms.cores {
+		if !s.Quiesced() || s.issueBusy || s.ulmtBusy || s.proc == nil {
+			return false
+		}
+		if ms.finished[i] {
+			if !s.proc.Drained() {
+				return false
+			}
+		} else {
+			if !s.proc.Idle() {
+				return false
+			}
+			unfinished++
+		}
+	}
+	if ms.shards != nil && !ms.shards.idle() {
+		return false
+	}
+	return ms.eng.Pending() == unfinished
+}
+
+// RunControlled executes like Run, polling ctl between events exactly
+// as System.RunControlled does. A nil ctl is Run.
+func (ms *MultiSystem) RunControlled(ctl *RunControl) (MulticoreResults, RunOutcome) {
+	ms.start()
+	return ms.runLoop(ctl)
+}
+
+func (ms *MultiSystem) runLoop(ctl *RunControl) (MulticoreResults, RunOutcome) {
+	if ctl == nil {
+		ms.eng.Run()
+		return ms.collect(), RunFinished
+	}
+	const pollBatch = 4096
+	for {
+		switch ctl.state.Load() {
+		case ctlAbort:
+			return MulticoreResults{}, RunAborted
+		case ctlCheckpoint:
+			if ms.checkpointReady() {
+				return MulticoreResults{}, RunCheckpointed
+			}
+			if !ms.eng.Step() {
+				return ms.collect(), RunFinished
+			}
+		default:
+			for i := 0; i < pollBatch; i++ {
+				if !ms.eng.Step() {
+					return ms.collect(), RunFinished
+				}
+			}
+			if ctl.CheckpointAfterEvents != 0 && ms.eng.Fired() >= ctl.CheckpointAfterEvents {
+				ctl.RequestCheckpoint()
+			}
+		}
+	}
+}
+
+// CheckpointPayload serializes the whole machine: the shared
+// components once, then each core's private state, then the shard
+// set. Only valid at a quiescent point.
+func (ms *MultiSystem) CheckpointPayload() []byte {
+	if !ms.checkpointReady() {
+		panic("core: multicore checkpoint away from a quiescent point")
+	}
+	if !ms.SupportsCheckpoint() {
+		panic("core: checkpoint of an unsupported multicore configuration")
+	}
+	w := checkpoint.NewWriter()
+	w.Tag("multicore")
+	now, seq, fired := ms.eng.SnapshotState()
+	w.I64(int64(now))
+	w.U64(seq)
+	w.U64(fired)
+	w.Int(len(ms.cores))
+	ms.mapper.Snapshot(w)
+	ms.fsb.Snapshot(w)
+	ms.ram.Snapshot(w)
+	for i, s := range ms.cores {
+		w.Bool(ms.finished[i])
+		w.I64(int64(ms.finishAt[i]))
+		var stepAt sim.Cycle
+		if !ms.finished[i] {
+			stepAt = s.proc.NextStepAt()
+		}
+		w.I64(int64(stepAt))
+		s.snapshotCore(w)
+	}
+	w.Bool(ms.shards != nil)
+	if ms.shards != nil {
+		ms.shards.snapshot(w)
+	}
+	return w.Bytes()
+}
+
+// WriteCheckpoint atomically writes the machine's state to path.
+func (ms *MultiSystem) WriteCheckpoint(path string, fingerprint [32]byte) error {
+	return checkpoint.Save(path, fingerprint, ms.CheckpointPayload())
+}
+
+// ResumeCheckpoint loads the checkpoint at path into this freshly
+// constructed machine and continues the run.
+func (ms *MultiSystem) ResumeCheckpoint(path string, fingerprint [32]byte, ctl *RunControl) (MulticoreResults, RunOutcome, error) {
+	payload, err := checkpoint.Load(path, fingerprint)
+	if err != nil {
+		return MulticoreResults{}, RunAborted, err
+	}
+	return ms.ResumePayload(payload, ctl)
+}
+
+// ResumePayload restores a CheckpointPayload into this never-started
+// machine and continues; the continuation is bit-identical to the
+// uninterrupted run.
+func (ms *MultiSystem) ResumePayload(payload []byte, ctl *RunControl) (MulticoreResults, RunOutcome, error) {
+	if !ms.SupportsCheckpoint() {
+		return MulticoreResults{}, RunAborted, fmt.Errorf("core: this multicore configuration does not support checkpoints")
+	}
+	if ms.started {
+		return MulticoreResults{}, RunAborted, fmt.Errorf("core: resume into an already-started machine")
+	}
+	ms.started = true
+	r := checkpoint.NewReader(payload)
+	r.Tag("multicore")
+	now := sim.Cycle(r.I64())
+	seq := r.U64()
+	fired := r.U64()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return MulticoreResults{}, RunAborted, fmt.Errorf("core: restore: %w", err)
+	}
+	if n != len(ms.cores) {
+		return MulticoreResults{}, RunAborted, fmt.Errorf("core: checkpoint has %d cores, machine has %d", n, len(ms.cores))
+	}
+	ms.mapper.Restore(r)
+	ms.fsb.Restore(r)
+	ms.ram.Restore(r)
+	stepAts := make([]sim.Cycle, len(ms.cores))
+	for i, s := range ms.cores {
+		ms.finished[i] = r.Bool()
+		ms.finishAt[i] = sim.Cycle(r.I64())
+		stepAts[i] = sim.Cycle(r.I64())
+		proc, err := cpu.New(ms.eng, s.cfg.CPU, s, ms.coreOps(i))
+		if err != nil {
+			panic(err)
+		}
+		s.proc = proc
+		s.restoreCore(r)
+	}
+	hasShards := r.Bool()
+	if r.Err() == nil && hasShards != (ms.shards != nil) {
+		r.Failf("shard set presence %v, configured %v", hasShards, ms.shards != nil)
+	}
+	if ms.shards != nil && r.Err() == nil {
+		ms.shards.restore(r)
+	}
+	if err := r.Err(); err != nil {
+		return MulticoreResults{}, RunAborted, fmt.Errorf("core: restore: %w", err)
+	}
+	ms.remaining = 0
+	ms.eng.RestoreState(now, seq, fired)
+	for i, s := range ms.cores {
+		if ms.finished[i] {
+			continue
+		}
+		if stepAts[i] < now {
+			return MulticoreResults{}, RunAborted, fmt.Errorf("core %d: restore: step event at %d before clock %d", i, stepAts[i], now)
+		}
+		ms.remaining++
+		i := i
+		s.proc.SetOnDone(func() {
+			ms.finished[i] = true
+			ms.finishAt[i] = ms.eng.Now()
+			ms.remaining--
+		})
+		s.proc.ResumeAt(stepAts[i])
+	}
+	res, out := ms.runLoop(ctl)
+	return res, out, nil
+}

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+
+	"ulmt/internal/checkpoint"
+	"ulmt/internal/dram"
+	"ulmt/internal/fault"
+	"ulmt/internal/mem"
+	"ulmt/internal/memproc"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/sim"
+	"ulmt/internal/stats"
+)
+
+// Sharded ULMT for the multi-core machine (multicore.go).
+//
+// With N cores on the shared bus, a single memory thread would both
+// serialize on one correlation table and bottleneck on one core's
+// miss stream. The shard set splits the work by address: one shared
+// *logical* algorithm and table, with the rows for a given miss line
+// processed by shard h(line). Observations flow in three hops:
+//
+//  1. Staging: a core's demand miss enters its own queue 2, exactly
+//     as in the single-core machine — queue 2 becomes a per-core
+//     staging buffer at the controller.
+//  2. Delivery: the shard set drains each core's staging buffer in
+//     batches (Batch observations per DeliverLat-cycle round), runs
+//     the algorithm's prefetching and learning steps, and routes the
+//     session's time cost to the owning shard.
+//  3. Deposit: generated prefetch addresses land in the owning
+//     shard's push ring tagged with the originating core, so the
+//     pushed line is later sent to the right core's L2.
+//
+// The functional work — table reads, table updates, which lines get
+// emitted — runs eagerly at delivery time, in global delivery order.
+// Delivery order depends only on when observations were staged
+// (miss order and DeliverLat), never on the shard count, so WHICH
+// prefetches are generated is invariant under re-sharding; only where
+// their rows live and how long the session queues change. The shard
+// itself is a FIFO server for time: a session begins at
+// max(deliveryNow, shard.freeAt), its deposit fires at begin +
+// response, and the shard stays busy until begin + occupancy. More
+// shards means less queueing, which is the scaling knob the
+// experiments measure.
+//
+// Two deliberate modeling deviations from the single-core machine,
+// both needed so the emitted-prefetch stream cannot depend on shard
+// count (see DESIGN.md "Multi-core and table sharding"):
+//
+//   - Each shard's memory thread runs against a private DRAM channel
+//     (its own bank partition) instead of contending with application
+//     traffic in the shared DRAM. Session timing therefore feeds back
+//     only through deposit/occupancy latency, never through the app's
+//     bank timings.
+//   - The emitted-prefetch cross-match drops a push whose line is
+//     pending in queue 1 or staged in queue 2, but does NOT remove
+//     the queue-2 observation (the single-core path does): removal
+//     would make the delivered observation stream depend on deposit
+//     timing, which is shard-count-dependent.
+
+// The shard set's typed self-events.
+const (
+	// kdDeliver drains one batch from a core's staging buffer:
+	// I0 = core id.
+	kdDeliver sim.Kind = iota
+	// kdDeposit hands a session's emitted prefetches to the
+	// originating core: P = *shardJob.
+	kdDeposit
+)
+
+// shardPush is one entry in a shard's push ring: the prefetched line,
+// the core whose L2 wants it, and a global sequence number so a
+// core's pushes issue oldest-first across shards.
+type shardPush struct {
+	line mem.Line
+	core int
+	seq  uint64
+}
+
+// shard is one table shard: its memory thread (private L1 + private
+// DRAM channel), its FIFO-server busy horizon, and its push ring.
+type shard struct {
+	mp     *memproc.MemProc
+	ram    *dram.DRAM
+	freeAt sim.Cycle
+	q3     []shardPush
+}
+
+// shardJob carries one session's emitted lines from delivery time to
+// deposit time. Pooled: a deposit event always fires, so jobs recycle.
+type shardJob struct {
+	core  int
+	lines []mem.Line
+}
+
+// shardSet is the sharded ULMT: one sim.Actor shared by every core.
+type shardSet struct {
+	eng        *sim.Engine
+	alg        prefetch.Algorithm
+	learnFirst bool
+	cores      []*System
+	shards     []shard
+	batch      int
+	dlat       sim.Cycle
+	q3cap      int
+	issueDelay sim.Cycle
+
+	// pendingDeliver marks cores with a drain event scheduled, so a
+	// burst of staged misses costs one event, not one per miss.
+	pendingDeliver []bool
+	// inFlight counts scheduled deposit events not yet fired, for the
+	// checkpoint idle test.
+	inFlight int
+
+	// seq numbers every accepted push globally; sessSeen indexes the
+	// fault plan's session-stall stream (one stream for the shared
+	// thread, not one per core).
+	seq      uint64
+	sessSeen uint64
+	faults   *fault.Plan
+	inj      fault.Injected
+
+	// emits/obs/collect mirror System.ulmtEmits and friends: one
+	// reusable emit buffer, safe because sessions run synchronously
+	// at delivery and the buffer is copied into the job immediately.
+	emits   []mem.Line
+	obs     mem.Line
+	collect func(mem.Line)
+
+	jobPool sim.Pool[shardJob]
+
+	// Test hooks: onStage fires when a core stages an observation,
+	// onDeliver when the shard set processes it, onEmit for every
+	// line the algorithm generates. All nil outside tests.
+	onStage   func(core int, line mem.Line)
+	onDeliver func(core int, line mem.Line)
+	onEmit    func(core, shard int, line mem.Line)
+}
+
+// newShardSet builds nsh shards over the shared algorithm. Each
+// shard's memory thread gets the Base machine's MemProc configuration
+// and a private DRAM channel with the Base DRAM geometry.
+func newShardSet(eng *sim.Engine, cfg Config, alg prefetch.Algorithm, nsh, batch int, dlat sim.Cycle) (*shardSet, error) {
+	if alg == nil {
+		return nil, fmt.Errorf("core: sharded ULMT needs a shared algorithm")
+	}
+	if nsh < 1 {
+		return nil, fmt.Errorf("core: shard count must be >= 1, got %d", nsh)
+	}
+	if batch < 1 {
+		batch = 4
+	}
+	if dlat < 1 {
+		dlat = 4
+	}
+	ss := &shardSet{
+		eng:        eng,
+		alg:        alg,
+		learnFirst: cfg.LearnFirst,
+		shards:     make([]shard, nsh),
+		batch:      batch,
+		dlat:       dlat,
+		q3cap:      cfg.QueueDepth,
+	}
+	ss.issueDelay = cfg.MemProc.PrefetchToDRAM
+	for i := range ss.shards {
+		d, err := dram.New(cfg.DRAM)
+		if err != nil {
+			return nil, err
+		}
+		mp, err := memproc.New(cfg.MemProc, d)
+		if err != nil {
+			return nil, err
+		}
+		ss.shards[i] = shard{mp: mp, ram: d, q3: make([]shardPush, 0, cfg.QueueDepth)}
+	}
+	ss.collect = func(l mem.Line) {
+		if l != ss.obs {
+			ss.emits = append(ss.emits, l)
+		}
+	}
+	if cfg.Faults.Enabled() {
+		ss.faults = cfg.Faults
+	}
+	return ss, nil
+}
+
+// shardOf hashes a line to its owning shard.
+func (ss *shardSet) shardOf(l mem.Line) int {
+	h := uint64(l) * 0x9e3779b97f4a7c15
+	return int(h % uint64(len(ss.shards)))
+}
+
+// kick schedules a delivery round for a core's staging buffer if one
+// is not already pending.
+func (ss *shardSet) kick(core int) {
+	if ss.pendingDeliver[core] {
+		return
+	}
+	ss.pendingDeliver[core] = true
+	ss.eng.ScheduleAfter(ss.dlat, ss, kdDeliver, sim.Event{I0: uint64(core)})
+}
+
+// dropObservation counts a staging overflow against the shard that
+// would have processed the line.
+func (ss *shardSet) dropObservation(l mem.Line) {
+	ss.shards[ss.shardOf(l)].mp.DropObservation()
+}
+
+// Fire implements sim.Actor.
+func (ss *shardSet) Fire(kind sim.Kind, ev sim.Event) {
+	switch kind {
+	case kdDeliver:
+		core := int(ev.I0)
+		ss.pendingDeliver[core] = false
+		s := ss.cores[core]
+		for i := 0; i < ss.batch; i++ {
+			e, ok := s.q2.Pop()
+			if !ok {
+				break
+			}
+			ss.process(core, e.Line)
+		}
+		if s.q2.Len() > 0 {
+			ss.kick(core)
+		}
+	case kdDeposit:
+		job := ev.P.(*shardJob)
+		ss.inFlight--
+		ss.cores[job.core].depositShardLines(job.lines)
+		ss.jobPool.Put(job)
+	}
+}
+
+// process runs one observation through the shared algorithm and books
+// the session onto its shard.
+func (ss *shardSet) process(core int, line mem.Line) {
+	if ss.onDeliver != nil {
+		ss.onDeliver(core, line)
+	}
+	si := ss.shardOf(line)
+	sh := &ss.shards[si]
+	begin := ss.eng.Now()
+	if sh.freeAt > begin {
+		begin = sh.freeAt
+	}
+	ses := sh.mp.Begin(begin)
+	ss.obs = line
+	ss.emits = ss.emits[:0]
+	if ss.learnFirst {
+		ss.alg.Learn(line, ses)
+		ss.alg.Prefetch(line, ses, ss.collect)
+		ses.MarkResponse()
+	} else {
+		ss.alg.Prefetch(line, ses, ss.collect)
+		ses.MarkResponse()
+		ss.alg.Learn(line, ses)
+	}
+	respAt := begin + ses.Response()
+	occAt := begin + ses.Elapsed()
+	sh.mp.Finish(ses)
+	if ss.faults != nil {
+		n := ss.sessSeen
+		ss.sessSeen++
+		if st := ss.faults.SessionStall(n); st > 0 {
+			ss.inj.Stalls++
+			ss.inj.StallCycles += st
+			respAt += st
+			occAt += st
+		}
+	}
+	sh.freeAt = occAt
+	if ss.onEmit != nil {
+		for _, l := range ss.emits {
+			ss.onEmit(core, si, l)
+		}
+	}
+	if len(ss.emits) == 0 {
+		return
+	}
+	job := ss.jobPool.Get()
+	job.core = core
+	job.lines = append(job.lines[:0], ss.emits...)
+	ss.inFlight++
+	ss.eng.Schedule(respAt, ss, kdDeposit, sim.Event{P: job})
+}
+
+// pushQ3 admits one post-Filter prefetch into the owning shard's push
+// ring. Duplicate (line, core) pairs are dropped (the earlier push
+// will fill that core's L2); a full ring counts a drop against the
+// originating core.
+func (ss *shardSet) pushQ3(l mem.Line, core int, origin *System) {
+	sh := &ss.shards[ss.shardOf(l)]
+	for i := range sh.q3 {
+		if sh.q3[i].line == l && sh.q3[i].core == core {
+			return
+		}
+	}
+	if len(sh.q3) >= ss.q3cap {
+		origin.q3Drops++
+		return
+	}
+	ss.seq++
+	sh.q3 = append(sh.q3, shardPush{line: l, core: core, seq: ss.seq})
+}
+
+// popPushFor removes and returns the originating core's oldest
+// waiting push across every shard. Entries within a shard's ring are
+// sequence-ordered, so the first match per shard is that shard's
+// oldest.
+func (ss *shardSet) popPushFor(core int) (mem.Line, bool) {
+	bestShard, bestIdx := -1, -1
+	var bestSeq uint64
+	for si := range ss.shards {
+		q := ss.shards[si].q3
+		for i := range q {
+			if q[i].core != core {
+				continue
+			}
+			if bestShard < 0 || q[i].seq < bestSeq {
+				bestShard, bestIdx, bestSeq = si, i, q[i].seq
+			}
+			break
+		}
+	}
+	if bestShard < 0 {
+		return 0, false
+	}
+	q := ss.shards[bestShard].q3
+	l := q[bestIdx].line
+	ss.shards[bestShard].q3 = append(q[:bestIdx], q[bestIdx+1:]...)
+	return l, true
+}
+
+// cancelPush is the demand cross-match: a demand miss for l from a
+// core cancels only that core's waiting push for the line (another
+// core's push still targets a different L2).
+func (ss *shardSet) cancelPush(l mem.Line, core int) bool {
+	sh := &ss.shards[ss.shardOf(l)]
+	for i := range sh.q3 {
+		if sh.q3[i].line == l && sh.q3[i].core == core {
+			sh.q3 = append(sh.q3[:i], sh.q3[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// idle reports whether the shard set has no scheduled events and no
+// queued pushes — the multi-core checkpoint quiescence condition.
+// Staged observations live in each core's queue 2 and are covered by
+// the per-core Quiesced test.
+func (ss *shardSet) idle() bool {
+	if ss.inFlight != 0 {
+		return false
+	}
+	for _, p := range ss.pendingDeliver {
+		if p {
+			return false
+		}
+	}
+	for i := range ss.shards {
+		if len(ss.shards[i].q3) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ulmtStats sums the Fig 10 counters across shards; perShard returns
+// each shard's own view for the scaling report.
+func (ss *shardSet) ulmtStats() stats.ULMTStats {
+	var t stats.ULMTStats
+	for i := range ss.shards {
+		st := ss.shards[i].mp.Stats()
+		t.MissesProcessed += st.MissesProcessed
+		t.MissesDropped += st.MissesDropped
+		t.ResponseBusy += st.ResponseBusy
+		t.ResponseMem += st.ResponseMem
+		t.OccupancyBusy += st.OccupancyBusy
+		t.OccupancyMem += st.OccupancyMem
+		t.Instructions += st.Instructions
+		t.MemAccesses += st.MemAccesses
+		t.CacheMisses += st.CacheMisses
+	}
+	return t
+}
+
+func (ss *shardSet) perShard() []stats.ULMTStats {
+	out := make([]stats.ULMTStats, len(ss.shards))
+	for i := range ss.shards {
+		out[i] = ss.shards[i].mp.Stats()
+	}
+	return out
+}
+
+// snapshot/restore serialize the shard set at an idle point: the
+// shared algorithm once, then each shard's memory thread, private
+// DRAM channel, busy horizon and push ring. Push rings are plain data
+// (no pointers), so unlike bus traffic they may cross a checkpoint;
+// idle() still requires them empty only because a queued push implies
+// a core will soon issue it, which the per-core quiescence already
+// forbids — the codec keeps them for robustness.
+func (ss *shardSet) snapshot(w *checkpoint.Writer) {
+	w.Tag("shards")
+	w.Int(len(ss.shards))
+	w.U64(ss.seq)
+	w.U64(ss.sessSeen)
+	prefetch.SnapshotAlg(w, ss.alg)
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		sh.mp.Snapshot(w)
+		sh.ram.Snapshot(w)
+		w.I64(int64(sh.freeAt))
+		w.Int(len(sh.q3))
+		for _, e := range sh.q3 {
+			w.U64(uint64(e.line))
+			w.Int(e.core)
+			w.U64(e.seq)
+		}
+	}
+}
+
+func (ss *shardSet) restore(r *checkpoint.Reader) {
+	r.Tag("shards")
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n != len(ss.shards) {
+		r.Failf("checkpoint has %d shards, machine has %d", n, len(ss.shards))
+		return
+	}
+	ss.seq = r.U64()
+	ss.sessSeen = r.U64()
+	prefetch.RestoreAlg(r, ss.alg)
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		sh.mp.Restore(r)
+		sh.ram.Restore(r)
+		sh.freeAt = sim.Cycle(r.I64())
+		k := r.Int()
+		if r.Err() != nil {
+			return
+		}
+		if k < 0 || k > ss.q3cap {
+			r.Failf("implausible shard push-ring depth %d", k)
+			return
+		}
+		sh.q3 = sh.q3[:0]
+		for j := 0; j < k; j++ {
+			e := shardPush{line: mem.Line(r.U64()), core: r.Int(), seq: r.U64()}
+			sh.q3 = append(sh.q3, e)
+		}
+	}
+}

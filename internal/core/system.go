@@ -39,6 +39,14 @@ type System struct {
 	// application (§3.4).
 	ulmt prefetch.Algorithm
 
+	// shards, when non-nil, replaces the private memory thread with
+	// the shared sharded ULMT of a multi-core machine (shard.go):
+	// queue 2 becomes a staging buffer the shard set drains, and
+	// queue 3 moves into the shard set's per-shard push rings. coreID
+	// identifies this core to the shard set.
+	shards *shardSet
+	coreID int
+
 	proc *cpu.Processor
 
 	// active is the Fig 1-(c) active-prefetching thread, if enabled.
@@ -152,6 +160,26 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	s, err := newSystemOn(cfg, eng, bus.New(eng, cfg.Bus), d,
+		mem.NewPageMapper(cfg.LinearPages, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	if s.faults != nil {
+		s.wireFaultHooks()
+	}
+	return s, nil
+}
+
+// newSystemOn assembles one core's private machinery — L1/L2, the
+// controller queues, its processor-side state — around shared
+// infrastructure handed in by the caller: the engine, the front-side
+// bus, the DRAM and the page mapper. NewSystem passes freshly built
+// singletons (the single-core machine); NewMultiSystem passes one set
+// shared by every core. Fault bandwidth hooks are NOT wired here —
+// they are per-machine, not per-core — so callers wire them exactly
+// once.
+func newSystemOn(cfg Config, eng *sim.Engine, fsb *bus.Bus, ram *dram.DRAM, mapper *mem.PageMapper) (*System, error) {
 	l1, err := cache.New(cfg.L1)
 	if err != nil {
 		return nil, fmt.Errorf("L1: %w", err)
@@ -179,11 +207,11 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{
 		cfg:       cfg,
 		eng:       eng,
-		mapper:    mem.NewPageMapper(cfg.LinearPages, cfg.Seed),
+		mapper:    mapper,
 		l1:        l1,
 		l2:        l2,
-		fsb:       bus.New(eng, cfg.Bus),
-		ram:       d,
+		fsb:       fsb,
+		ram:       ram,
 		q1:        q1,
 		q2:        q2,
 		q3:        q3,
@@ -199,7 +227,7 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	s.ulmt = cfg.ULMT
 	if cfg.ULMT != nil || cfg.Active != nil {
-		s.mp, err = memproc.New(cfg.MemProc, d)
+		s.mp, err = memproc.New(cfg.MemProc, ram)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +241,6 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Faults.Enabled() {
 		s.faults = cfg.Faults
-		s.wireFaultHooks()
 	}
 	return s, nil
 }

@@ -158,6 +158,13 @@ type Processor struct {
 	blockOnID  uint64
 	paused     bool
 
+	// stepAt records the due cycle of the most recently scheduled step
+	// self-event. At a quiescent point that event is the processor's
+	// only pending one, so a multi-core checkpoint (where the engine's
+	// global NextAt mixes every core's events) reads each core's resume
+	// point from here instead of from the engine.
+	stepAt sim.Cycle
+
 	startAt  sim.Cycle
 	uptoL2   sim.Cycle
 	beyondL2 sim.Cycle
@@ -205,6 +212,13 @@ func (p *Processor) Start(onDone func()) {
 	p.scheduleStep(0)
 }
 
+// SetOnDone installs the finish callback without scheduling anything.
+// The checkpoint-resume path uses it in place of Start: Restore
+// rebuilds the processor state and ResumeAt re-creates its pending
+// event, but the finish notification is a live closure that cannot
+// cross the checkpoint and must be re-attached.
+func (p *Processor) SetOnDone(onDone func()) { p.onDone = onDone }
+
 // The processor's typed self-events.
 const (
 	// kindStep is an issue-cycle tick.
@@ -220,6 +234,7 @@ const (
 // the processor is its own sim.Actor, so the issue loop schedules
 // allocation-free.
 func (p *Processor) scheduleStep(d sim.Cycle) {
+	p.stepAt = p.eng.Now() + d
 	p.eng.ScheduleAfter(d, p, kindStep, sim.Event{})
 }
 

@@ -133,6 +133,7 @@ func (p *Processor) fastRun() {
 				p.eng.AdvanceTo(now)
 				p.flushRing()
 				if hasStep {
+					p.stepAt = stepAt
 					p.eng.Schedule(stepAt, p, kindStep, sim.Event{})
 				}
 				return

@@ -19,14 +19,29 @@ func (p *Processor) Idle() bool {
 		p.ringHead >= len(p.ring)
 }
 
+// Drained reports a fully retired processor with nothing outstanding:
+// the other snapshottable state. A multi-core checkpoint needs it —
+// cores finish at different times, so some processors are done while
+// others are mid-stream.
+func (p *Processor) Drained() bool {
+	return p.finished && p.pendingLoads == 0 && p.pendingStores == 0 &&
+		p.blocked == notBlocked && !p.paused &&
+		p.ringHead >= len(p.ring)
+}
+
+// NextStepAt returns the due cycle of the pending step self-event;
+// meaningful only when Idle().
+func (p *Processor) NextStepAt() sim.Cycle { return p.stepAt }
+
 // Snapshot serializes the processor state; it panics when called away
 // from a quiescent point, which would need in-flight loads and the
 // local completion ring to cross the checkpoint.
 func (p *Processor) Snapshot(w *checkpoint.Writer) {
-	if !p.Idle() {
+	if !p.Idle() && !p.Drained() {
 		panic("cpu: snapshot of a non-idle processor")
 	}
 	w.Tag("cpu")
+	w.Bool(p.finished)
 	w.Int(p.pc)
 	w.U64(p.nextLoadID)
 	w.U64(p.lastLoadID)
@@ -59,6 +74,7 @@ func (p *Processor) Snapshot(w *checkpoint.Writer) {
 // restore goes New → Restore → ResumeAt, never Start).
 func (p *Processor) Restore(r *checkpoint.Reader) {
 	r.Tag("cpu")
+	p.finished = r.Bool()
 	p.pc = r.Int()
 	p.nextLoadID = r.U64()
 	p.lastLoadID = r.U64()
@@ -95,7 +111,9 @@ func (p *Processor) Restore(r *checkpoint.Reader) {
 
 // ResumeAt re-creates the processor's single pending event, the step
 // self-event the checkpointed run had scheduled at stepAt. It
-// replaces Start on the restore path.
+// replaces Start on the restore path. A restored Drained processor
+// has no pending event; callers skip ResumeAt for it.
 func (p *Processor) ResumeAt(stepAt sim.Cycle) {
+	p.stepAt = stepAt
 	p.eng.Schedule(stepAt, p, kindStep, sim.Event{})
 }

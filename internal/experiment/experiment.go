@@ -77,6 +77,22 @@ type Options struct {
 	// it exists so the checkpoint-directory manifest and fingerprint
 	// can include the fault identity without hashing Plan internals.
 	FaultTag string
+	// Jobs is the parallel worker count for ExecuteAll (the -j flag).
+	// Validate rejects values below 1: a zero here almost always
+	// means a caller forgot to set it, and silently running serial
+	// (or worse, GOMAXPROCS) hides the bug.
+	Jobs int
+	// CheckpointDir is where completed results and mid-flight
+	// checkpoints persist (the -checkpoint-dir flag; "" disables).
+	CheckpointDir string
+	// Cores is the main-processor count for the multicore experiment
+	// (the -cores flag; 0 sweeps the default 2/4/8 ladder).
+	Cores int
+	// Shards is the correlation-table shard count for the multicore
+	// experiment (the -shards flag; 0 gives each core a private
+	// ULMT, >=1 shards one shared table across that many memory
+	// threads).
+	Shards int
 }
 
 func (o Options) apps() []string {
@@ -87,10 +103,12 @@ func (o Options) apps() []string {
 }
 
 // Validate reports the first error in the options: an application
-// name outside the workload registry (with the valid names listed) or
-// an out-of-range scale. Runner methods assume validated options;
-// cmd/ulmtsim calls this before building a Runner so a typo in -apps
-// exits with a clear message instead of panicking mid-experiment.
+// name outside the workload registry (with the valid names listed),
+// an out-of-range scale, a worker count below 1, a resume request
+// with nowhere to resume from, or a negative core/shard count.
+// Runner methods assume validated options; cmd/ulmtsim calls this
+// before building a Runner so a bad flag exits with a clear message
+// instead of being silently defaulted or panicking mid-experiment.
 func (o Options) Validate() error {
 	if o.Scale < workload.ScaleTiny || o.Scale > workload.ScaleLarge {
 		return fmt.Errorf("experiment: unknown scale %d", int(o.Scale))
@@ -100,6 +118,18 @@ func (o Options) Validate() error {
 			return fmt.Errorf("experiment: unknown application %q (valid: %s)",
 				a, strings.Join(workload.Names(), ", "))
 		}
+	}
+	if o.Jobs < 1 {
+		return fmt.Errorf("experiment: -j must be >= 1, got %d", o.Jobs)
+	}
+	if o.Resume && o.CheckpointDir == "" {
+		return fmt.Errorf("experiment: -resume needs -checkpoint-dir")
+	}
+	if o.Cores < 0 {
+		return fmt.Errorf("experiment: -cores must be >= 0, got %d", o.Cores)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("experiment: -shards must be >= 0, got %d", o.Shards)
 	}
 	return nil
 }

@@ -246,12 +246,14 @@ func TestMemoSingleFlight(t *testing.T) {
 }
 
 // TestOptionsValidate pins the no-panic contract: unknown apps are
-// reported with the valid names, not discovered by a panic later.
+// reported with the valid names, not discovered by a panic later,
+// and contradictory or nonsensical knob settings are rejected up
+// front instead of silently defaulted.
 func TestOptionsValidate(t *testing.T) {
-	if err := (Options{Apps: []string{"Mcf", "CG"}}).Validate(); err != nil {
+	if err := (Options{Apps: []string{"Mcf", "CG"}, Jobs: 1}).Validate(); err != nil {
 		t.Errorf("valid options rejected: %v", err)
 	}
-	err := (Options{Apps: []string{"mcf"}}).Validate()
+	err := (Options{Apps: []string{"mcf"}, Jobs: 1}).Validate()
 	if err == nil {
 		t.Fatal("lower-case app name accepted")
 	}
@@ -260,7 +262,25 @@ func TestOptionsValidate(t *testing.T) {
 			t.Errorf("error %q does not list valid name %s", err, name)
 		}
 	}
-	if err := (Options{Scale: workload.Scale(99)}).Validate(); err == nil {
+	if err := (Options{Scale: workload.Scale(99), Jobs: 1}).Validate(); err == nil {
 		t.Error("out-of-range scale accepted")
+	}
+	if err := (Options{}).Validate(); err == nil {
+		t.Error("zero worker count accepted")
+	}
+	if err := (Options{Jobs: -3}).Validate(); err == nil {
+		t.Error("negative worker count accepted")
+	}
+	if err := (Options{Jobs: 1, Resume: true}).Validate(); err == nil {
+		t.Error("-resume without -checkpoint-dir accepted")
+	}
+	if err := (Options{Jobs: 1, Resume: true, CheckpointDir: "d"}).Validate(); err != nil {
+		t.Errorf("resume with checkpoint dir rejected: %v", err)
+	}
+	if err := (Options{Jobs: 1, Cores: -1}).Validate(); err == nil {
+		t.Error("negative core count accepted")
+	}
+	if err := (Options{Jobs: 1, Shards: -1}).Validate(); err == nil {
+		t.Error("negative shard count accepted")
 	}
 }

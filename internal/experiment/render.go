@@ -32,6 +32,7 @@ var renderers = map[string]func(io.Writer, *Runner){
 	"fig8": renderFig8, "fig9": renderFig9, "fig10": renderFig10,
 	"fig11":    renderFig11,
 	"ablation": renderAblation, "sweep": renderSweep, "faults": renderFaults,
+	"multicore": renderMulticore,
 }
 
 // IsExperiment reports whether name is a renderable experiment.

@@ -149,6 +149,21 @@ type BusStats struct {
 	PrefetchCycles sim.Cycle // subset attributable to prefetch traffic
 }
 
+// BusTransfers counts granted transfers per arbitration class. It
+// exists for the multi-core conservation invariants: every demand
+// miss crosses the shared bus exactly once, so per-core miss counters
+// must sum to the bus's demand transfer count. Kept separate from
+// BusStats so the pinned golden run digests (which format BusStats
+// verbatim) stay byte-identical.
+type BusTransfers struct {
+	Demand    uint64
+	Writeback uint64
+	Prefetch  uint64
+}
+
+// Total returns the number of granted transfers across all classes.
+func (t BusTransfers) Total() uint64 { return t.Demand + t.Writeback + t.Prefetch }
+
 // Utilization returns busy/total, guarding against a zero-length run.
 func (b BusStats) Utilization(total sim.Cycle) float64 {
 	if total <= 0 {
