@@ -8,7 +8,7 @@
 //	ulmtsim [-exp all|table1..table5|fig5..fig11|ablation|sweep|faults|multicore]
 //	        [-scale tiny|small|medium|large] [-apps CG,Mcf,...] [-seed N]
 //	        [-j N] [-faults off|light|heavy|k=v,...] [-fault-seed N]
-//	        [-fastpath on|off] [-cores N] [-shards N]
+//	        [-fastpath on|off] [-fork on|off] [-cores N] [-shards N]
 //	        [-checkpoint-dir DIR] [-resume] [-run-timeout D] [-retries N]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //	        [-gcpercent N] [-memlimit BYTES] [-bench-json FILE]
@@ -41,6 +41,14 @@
 // completion through the event queue as a cross-checking oracle. The
 // rendered report is byte-identical at either setting; only the
 // host-side event churn and wall clock move.
+//
+// -fork=off disables fork-from-warm execution (DESIGN.md
+// "Fork-from-warm execution"): with it on (the default), run-matrix
+// keys that differ from their app's Repl run only in prefetch-side
+// parameters resume from the Repl leader's in-memory snapshots instead
+// of simulating their shared prefix again. The rendered report is
+// byte-identical at either setting; the footer's forked/scratch run
+// counts show how much simulation was shared.
 //
 // The run matrix of the requested experiments is pre-planned and
 // executed on -j parallel workers (default: GOMAXPROCS) with live
@@ -100,6 +108,7 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "page-mapping seed")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 	fastpathFlag := flag.String("fastpath", "on", "cycle-skipping CPU fast path (on or off); off forces every cycle through the event queue (the equivalence oracle — reports are bit-identical either way)")
+	forkFlag := flag.String("fork", "on", "fork-from-warm execution (on or off); off simulates every run-matrix key from scratch (the equivalence oracle — reports are bit-identical either way)")
 	faultSpec := flag.String("faults", "off", "fault plan: off, light, heavy, or key=value list (see internal/fault)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault plan's pseudo-random schedule")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -177,8 +186,17 @@ func run() error {
 	default:
 		return fmt.Errorf("ulmtsim: -fastpath must be on or off, got %q", *fastpathFlag)
 	}
+	var fork bool
+	switch *forkFlag {
+	case "on":
+		fork = true
+	case "off":
+		fork = false
+	default:
+		return fmt.Errorf("ulmtsim: -fork must be on or off, got %q", *forkFlag)
+	}
 	opt := experiment.Options{
-		Scale: scale, Seed: *seed, Faults: plan, NoFastPath: !fastpath,
+		Scale: scale, Seed: *seed, Faults: plan, NoFastPath: !fastpath, NoFork: !fork,
 		Resume: *resume, RunTimeout: *runTimeout, MaxRetries: *retries,
 		Jobs: *jobs, CheckpointDir: *ckptDir,
 		Cores: *cores, Shards: *shards,
@@ -266,27 +284,32 @@ func run() error {
 	if s := wall.Seconds(); s > 0 {
 		rate = humanCount(uint64(float64(events) / s))
 	}
-	fmt.Printf("# host: peak heap %.1f MiB, GC cycles %d, GC pause %s, wall %s, events %s (%s/s), runs retried %d, failed %d\n",
+	fmt.Printf("# host: peak heap %.1f MiB, GC cycles %d, GC pause %s, wall %s, events %s (%s/s), runs retried %d, failed %d, forked %d, scratch %d, snapshot ring %.1f MiB\n",
 		float64(m.peakHeap)/(1<<20), m.gcCycles,
 		time.Duration(m.gcPauseNs).Round(time.Microsecond), wall.Round(time.Millisecond),
-		humanCount(events), rate, r.Retried(), r.Failed())
+		humanCount(events), rate, r.Retried(), r.Failed(),
+		r.ForkedRuns(), r.ScratchRuns(), float64(r.SnapshotRingBytes())/(1<<20))
 
 	if *benchJSON != "" {
 		b, err := json.MarshalIndent(benchRecord{
-			Exp:          *exp,
-			Scale:        scale.String(),
-			Seed:         *seed,
-			Jobs:         *jobs,
+			Exp:   *exp,
+			Scale: scale.String(),
+			Seed:  *seed,
+			Jobs:  *jobs,
 			// Planned matrix keys, or (for experiments that simulate
 			// at render time, like multicore) the runs computed.
-			Runs: max(len(keys), int(r.RunsComputed())),
-			WallSeconds:  wall.Seconds(),
-			PeakHeapMiB:  float64(m.peakHeap) / (1 << 20),
-			GCCycles:     m.gcCycles,
-			GCPauseMs:    float64(m.gcPauseNs) / 1e6,
-			EventsFired:  events,
-			Fastpath:     fastpath,
-			ReportSHA256: fmt.Sprintf("%x", sum.Sum(nil)),
+			Runs:              max(len(keys), int(r.RunsComputed())),
+			WallSeconds:       wall.Seconds(),
+			PeakHeapMiB:       float64(m.peakHeap) / (1 << 20),
+			GCCycles:          m.gcCycles,
+			GCPauseMs:         float64(m.gcPauseNs) / 1e6,
+			EventsFired:       events,
+			Fastpath:          fastpath,
+			Fork:              fork,
+			ForkedRuns:        r.ForkedRuns(),
+			ScratchRuns:       r.ScratchRuns(),
+			SnapshotRingBytes: r.SnapshotRingBytes(),
+			ReportSHA256:      fmt.Sprintf("%x", sum.Sum(nil)),
 		}, "", "  ")
 		if err != nil {
 			return fmt.Errorf("ulmtsim: -bench-json: %w", err)
@@ -301,18 +324,22 @@ func run() error {
 // benchRecord is the machine-readable summary -bench-json emits; the
 // BENCH_ulmt.json trajectory file at the repo root collects these.
 type benchRecord struct {
-	Exp          string  `json:"exp"`
-	Scale        string  `json:"scale"`
-	Seed         uint64  `json:"seed"`
-	Jobs         int     `json:"jobs"`
-	Runs         int     `json:"runs"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	PeakHeapMiB  float64 `json:"peak_heap_mib"`
-	GCCycles     uint32  `json:"gc_cycles"`
-	GCPauseMs    float64 `json:"gc_pause_ms"`
-	EventsFired  uint64  `json:"events_fired"`
-	Fastpath     bool    `json:"fastpath"`
-	ReportSHA256 string  `json:"report_sha256"`
+	Exp               string  `json:"exp"`
+	Scale             string  `json:"scale"`
+	Seed              uint64  `json:"seed"`
+	Jobs              int     `json:"jobs"`
+	Runs              int     `json:"runs"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	PeakHeapMiB       float64 `json:"peak_heap_mib"`
+	GCCycles          uint32  `json:"gc_cycles"`
+	GCPauseMs         float64 `json:"gc_pause_ms"`
+	EventsFired       uint64  `json:"events_fired"`
+	Fastpath          bool    `json:"fastpath"`
+	Fork              bool    `json:"fork"`
+	ForkedRuns        uint64  `json:"forked_runs"`
+	ScratchRuns       uint64  `json:"scratch_runs"`
+	SnapshotRingBytes uint64  `json:"snapshot_ring_bytes"`
+	ReportSHA256      string  `json:"report_sha256"`
 }
 
 // humanCount renders an event count compactly (1234567890 -> "1.23G")

@@ -86,10 +86,13 @@ type ring struct {
 
 func (r *ring) len() int { return r.n }
 
-// push and pop move entries through pointers: the transfer struct is
-// wide enough that passing it by value through enqueue, both queues,
-// and the in-flight FIFO showed up as bulk-copy time in profiles.
-func (r *ring) push(t *transfer) {
+// Entries move through pointers, never by value: the transfer struct
+// is wide enough that passing it by value through enqueue, both
+// queues, and the in-flight FIFO showed up as bulk-copy time in
+// profiles. next hands out the tail slot for in-place construction —
+// the enqueue path writes each field exactly once, straight into the
+// ring.
+func (r *ring) next() *transfer {
 	if r.n == len(r.buf) {
 		grown := make([]transfer, max(8, 2*len(r.buf)))
 		for i := 0; i < r.n; i++ {
@@ -103,21 +106,36 @@ func (r *ring) push(t *transfer) {
 	if idx >= len(r.buf) {
 		idx -= len(r.buf)
 	}
-	r.buf[idx] = *t
 	r.n++
+	return &r.buf[idx]
 }
 
-func (r *ring) pop(dst *transfer) {
+// moveTo pops r's head straight into dst's tail slot — one bulk copy
+// instead of the two a pop-to-stack-then-push would cost on every
+// granted transfer. Returns the destination slot; the caller must
+// read what it needs before anything else touches dst.
+func (r *ring) moveTo(dst *ring) *transfer {
+	if dst.n == len(dst.buf) {
+		grown := make([]transfer, max(8, 2*len(dst.buf)))
+		for i := 0; i < dst.n; i++ {
+			grown[i] = dst.buf[(dst.head+i)%len(dst.buf)]
+		}
+		dst.buf, dst.head = grown, 0
+	}
+	idx := dst.head + dst.n
+	if idx >= len(dst.buf) {
+		idx -= len(dst.buf)
+	}
 	e := &r.buf[r.head]
-	*dst = *e
-	// Release the callback references; the scalars may go stale, since
-	// push overwrites the whole slot.
+	dst.buf[idx] = *e
 	e.actor, e.onDone, e.ev.P = nil, nil, nil
 	r.head++
 	if r.head == len(r.buf) {
 		r.head = 0
 	}
 	r.n--
+	dst.n++
+	return &dst.buf[idx]
 }
 
 // Bus serializes transfers on a single shared medium with demand
@@ -149,41 +167,52 @@ func (b *Bus) SetStretch(f func(now, dur sim.Cycle) sim.Cycle) { b.stretch = f }
 // TransferRequest enqueues an address/command packet; onDone fires
 // when its last beat crosses. Closure form: allocates per call.
 func (b *Bus) TransferRequest(kind Kind, onDone func(done sim.Cycle)) {
-	t := transfer{dur: b.requestCycles(), kind: kind, onDone: onDone}
-	b.enqueue(&t)
+	t := b.enqueue(kind, b.requestCycles())
+	t.onDone = onDone
+	b.grant()
 }
 
 // TransferLine enqueues a full line transfer; onDone fires when the
 // last beat lands. Closure form: allocates per call.
 func (b *Bus) TransferLine(kind Kind, onDone func(done sim.Cycle)) {
-	t := transfer{dur: b.LineCycles(), kind: kind, onDone: onDone}
-	b.enqueue(&t)
+	t := b.enqueue(kind, b.LineCycles())
+	t.onDone = onDone
+	b.grant()
 }
 
 // TransferRequestTo enqueues an address/command packet, delivering
 // (ekind, ev) to a when the last beat crosses; the completion time is
 // the engine's Now at delivery. Allocation-free.
 func (b *Bus) TransferRequestTo(kind Kind, a sim.Actor, ekind sim.Kind, ev sim.Event) {
-	t := transfer{dur: b.requestCycles(), kind: kind, actor: a, ekind: ekind, ev: ev}
-	b.enqueue(&t)
+	t := b.enqueue(kind, b.requestCycles())
+	t.actor, t.ekind, t.ev = a, ekind, ev
+	b.grant()
 }
 
 // TransferLineTo enqueues a full line transfer, delivering (ekind,
 // ev) to a when the last beat lands. Allocation-free.
 func (b *Bus) TransferLineTo(kind Kind, a sim.Actor, ekind sim.Kind, ev sim.Event) {
-	t := transfer{dur: b.LineCycles(), kind: kind, actor: a, ekind: ekind, ev: ev}
-	b.enqueue(&t)
+	t := b.enqueue(kind, b.LineCycles())
+	t.actor, t.ekind, t.ev = a, ekind, ev
+	b.grant()
 }
 
 func (b *Bus) requestCycles() sim.Cycle { return b.cfg.RequestBeats * b.cfg.CyclesPerBeat }
 
-func (b *Bus) enqueue(t *transfer) {
-	if t.kind == Demand {
-		b.highQ.push(t)
+// enqueue claims the tail slot of the right priority queue and
+// initializes it in place; the caller fills the completion target
+// before calling grant. A pop leaves stale callback fields nil but
+// stale scalars behind, so every field is assigned here.
+func (b *Bus) enqueue(kind Kind, dur sim.Cycle) *transfer {
+	var t *transfer
+	if kind == Demand {
+		t = b.highQ.next()
 	} else {
-		b.lowQ.push(t)
+		t = b.lowQ.next()
 	}
-	b.grant()
+	t.dur, t.kind = dur, kind
+	t.actor, t.ekind, t.ev, t.onDone = nil, 0, sim.Event{}, nil
+	return t
 }
 
 // grant starts the next transfer if the medium is free.
@@ -196,24 +225,25 @@ func (b *Bus) grant() {
 		// A completion event is already scheduled; it will re-grant.
 		return
 	}
-	var t transfer
+	var src *ring
 	switch {
 	case b.highQ.len() > 0:
-		b.highQ.pop(&t)
+		src = &b.highQ
 	case b.lowQ.len() > 0:
-		b.lowQ.pop(&t)
+		src = &b.lowQ
 	default:
 		return
 	}
 	b.granting = true
-	dur := t.dur
+	t := src.moveTo(&b.inflight)
+	dur, kind := t.dur, t.kind
 	if b.stretch != nil {
 		dur = b.stretch(now, dur)
 	}
 	done := now + dur
 	b.busyUntil = done
 	b.st.BusyCycles += dur
-	switch t.kind {
+	switch kind {
 	case Demand:
 		b.tc.Demand++
 	case Writeback:
@@ -222,7 +252,6 @@ func (b *Bus) grant() {
 		b.st.PrefetchCycles += dur
 		b.tc.Prefetch++
 	}
-	b.inflight.push(&t)
 	b.eng.Schedule(done, b, 0, sim.Event{})
 	b.granting = false
 }
@@ -237,13 +266,22 @@ func (b *Bus) grant() {
 // the previous, and same-cycle ties fire in schedule order), so the
 // FIFO pairs every event with its transfer.
 func (b *Bus) Fire(_ sim.Kind, _ sim.Event) {
-	var t transfer
-	b.inflight.pop(&t)
+	// Read the completion target out of the head slot and release it
+	// before delivering: Fire may reenter enqueue and reshape the ring.
+	r := &b.inflight
+	e := &r.buf[r.head]
+	actor, ekind, ev, onDone := e.actor, e.ekind, e.ev, e.onDone
+	e.actor, e.onDone, e.ev.P = nil, nil, nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
 	switch {
-	case t.actor != nil:
-		t.actor.Fire(t.ekind, t.ev)
-	case t.onDone != nil:
-		t.onDone(b.eng.Now())
+	case actor != nil:
+		actor.Fire(ekind, ev)
+	case onDone != nil:
+		onDone(b.eng.Now())
 	}
 	b.grant()
 }

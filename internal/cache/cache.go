@@ -64,20 +64,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// way holds the per-line state that is only read once a lookup has
-// resolved. The fields every lookup scans — the tag and the LRU tick
-// — live in the packed c.tags and c.lru arrays instead, so a set walk
-// touches one cache line of tags rather than striding across the full
-// way structs (the scans dominated whole-run profiles). way.tag and
-// way.valid are kept as the authoritative duplicates the packed
-// arrays mirror: eviction, write-back, and fingerprinting read them.
-type way struct {
-	tag      uint64
-	valid    bool
-	dirty    bool
-	prefetch bool   // brought by a prefetch and not yet referenced
-	filledAt uint64 // access counter at fill, for diagnostics
-}
+// Per-way state is fully decomposed into flat arrays indexed
+// set*assoc+way: the tag and LRU tick every lookup scans live in
+// c.tags and c.lru (one cache line of tags per set walk), and the
+// state only read once a lookup has resolved is a one-byte flag word
+// in c.flags plus a diagnostic fill tick in c.filledAt. The earlier
+// layout kept a parallel slice-of-slices of way structs for the
+// resolved-path fields; the per-set slice-header loads and 24-byte
+// struct writes showed up in whole-run profiles of Fill.
+const (
+	wayValid    = 1 << 0
+	wayDirty    = 1 << 1
+	wayPrefetch = 1 << 2 // brought by a prefetch and not yet referenced
+)
 
 // invalidTag marks an empty way in the packed tag array. Real tags
 // are line numbers (byte addresses shifted right), so they can never
@@ -104,14 +103,15 @@ type Stats struct {
 // Cache is one level of the hierarchy.
 type Cache struct {
 	cfg     Config
-	sets    [][]way
 	setMask uint64
-	// tags and lru mirror way.tag/way.valid and the per-way LRU tick
-	// as flat arrays indexed set*assoc+way, packed so lookups and
-	// victim scans stay within one or two cache lines per set.
-	tags  []uint64
-	lru   []uint64
-	mshrs []MSHR
+	// tags, lru, flags, filledAt are the per-way state as flat arrays
+	// indexed set*assoc+way; see the way* flag constants. An empty way
+	// holds invalidTag, so the scans need no separate valid check.
+	tags     []uint64
+	lru      []uint64
+	flags    []uint8
+	filledAt []uint64
+	mshrs    []MSHR
 	// mshrBusy mirrors the valid bits of mshrs as a bitmap (bit i =
 	// entry i), so the per-miss lookup/alloc scans only occupied
 	// entries instead of walking the whole file.
@@ -131,16 +131,13 @@ func New(cfg Config) (*Cache, error) {
 	lineBytes := 1 << cfg.Line.Shift()
 	nsets := cfg.SizeBytes / (lineBytes * cfg.Assoc)
 	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
-	c.sets = make([][]way, nsets)
-	backing := make([]way, nsets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
 	c.tags = make([]uint64, nsets*cfg.Assoc)
 	for i := range c.tags {
 		c.tags[i] = invalidTag
 	}
 	c.lru = make([]uint64, nsets*cfg.Assoc)
+	c.flags = make([]uint8, nsets*cfg.Assoc)
+	c.filledAt = make([]uint64, nsets*cfg.Assoc)
 	c.mshrs = make([]MSHR, cfg.MSHRs)
 	// The write-back queue is a ring over a fixed backing array of
 	// WBQDepth slots: draining advances a head index, never shifts.
@@ -158,20 +155,18 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Fingerprint() uint64 {
 	const prime = 0x100000001b3
 	h := uint64(0xcbf29ce484222325)
-	for si, set := range c.sets {
-		for _, w := range set {
-			if !w.valid {
-				continue
-			}
-			x := w.tag * 0x9e3779b97f4a7c15
-			x ^= uint64(si) * 0xbf58476d1ce4e5b9
-			if w.dirty {
-				x ^= 0xd6e8feb86659fd93
-			}
-			// XOR-fold so way position and iteration order don't
-			// matter, only the resident set.
-			h ^= x * prime
+	for i, fl := range c.flags {
+		if fl&wayValid == 0 {
+			continue
 		}
+		x := c.tags[i] * 0x9e3779b97f4a7c15
+		x ^= uint64(i/c.cfg.Assoc) * 0xbf58476d1ce4e5b9
+		if fl&wayDirty != 0 {
+			x ^= 0xd6e8feb86659fd93
+		}
+		// XOR-fold so way position and iteration order don't
+		// matter, only the resident set.
+		h ^= x * prime
 	}
 	return h
 }
@@ -200,13 +195,13 @@ func (c *Cache) Access(l mem.Line, write bool) LookupResult {
 	for i, t := range tags {
 		if t == tag {
 			c.lru[base+i] = c.tick
-			w := &c.sets[si][i]
+			f := &c.flags[base+i]
 			if write {
-				w.dirty = true
+				*f |= wayDirty
 			}
 			res := LookupResult{Hit: true}
-			if w.prefetch {
-				w.prefetch = false
+			if *f&wayPrefetch != 0 {
+				*f &^= wayPrefetch
 				c.st.PrefetchHits++
 				res.FirstPrefetchTouch = true
 			}
@@ -235,13 +230,13 @@ func (c *Cache) Probe(l mem.Line, write bool) (LookupResult, bool) {
 			c.tick++
 			c.st.Accesses++
 			c.lru[base+i] = c.tick
-			w := &c.sets[si][i]
+			f := &c.flags[base+i]
 			if write {
-				w.dirty = true
+				*f |= wayDirty
 			}
 			res := LookupResult{Hit: true}
-			if w.prefetch {
-				w.prefetch = false
+			if *f&wayPrefetch != 0 {
+				*f &^= wayPrefetch
 				c.st.PrefetchHits++
 				res.FirstPrefetchTouch = true
 			}
@@ -277,7 +272,6 @@ type EvictInfo struct {
 func (c *Cache) Fill(l mem.Line, dirty, prefetched bool) EvictInfo {
 	c.tick++
 	si := c.setIndex(l)
-	set := c.sets[si]
 	base := int(si) * c.cfg.Assoc
 	tags := c.tags[base : base+c.cfg.Assoc]
 	lrus := c.lru[base : base+c.cfg.Assoc]
@@ -298,7 +292,7 @@ func (c *Cache) Fill(l mem.Line, dirty, prefetched bool) EvictInfo {
 		if t == tag {
 			// Refill of a resident line: merge flags.
 			if dirty {
-				set[i].dirty = true
+				c.flags[base+i] |= wayDirty
 			}
 			return EvictInfo{}
 		}
@@ -310,23 +304,31 @@ func (c *Cache) Fill(l mem.Line, dirty, prefetched bool) EvictInfo {
 	if victim < 0 {
 		victim = lru
 	}
-	w := &set[victim]
 	var ev EvictInfo
-	if w.valid {
-		ev = EvictInfo{Valid: true, Line: mem.Line(w.tag), Dirty: w.dirty}
+	if fl := c.flags[base+victim]; fl&wayValid != 0 {
+		old := mem.Line(tags[victim])
+		ev = EvictInfo{Valid: true, Line: old, Dirty: fl&wayDirty != 0}
 		c.st.Evictions++
-		if w.dirty {
+		if fl&wayDirty != 0 {
 			c.st.DirtyEvicts++
+			if c.wbqLen < c.cfg.WBQDepth {
+				c.wbq[(c.wbqHead+c.wbqLen)%c.cfg.WBQDepth] = old
+				c.wbqLen++
+			}
 		}
-		if w.prefetch {
+		if fl&wayPrefetch != 0 {
 			c.st.PrefetchEvictsUnused++
 		}
-		if w.dirty && c.wbqLen < c.cfg.WBQDepth {
-			c.wbq[(c.wbqHead+c.wbqLen)%c.cfg.WBQDepth] = mem.Line(w.tag)
-			c.wbqLen++
-		}
 	}
-	*w = way{tag: tag, valid: true, dirty: dirty, prefetch: prefetched, filledAt: c.tick}
+	fl := uint8(wayValid)
+	if dirty {
+		fl |= wayDirty
+	}
+	if prefetched {
+		fl |= wayPrefetch
+	}
+	c.flags[base+victim] = fl
+	c.filledAt[base+victim] = c.tick
 	tags[victim] = tag
 	lrus[victim] = c.tick
 	return ev
@@ -340,9 +342,9 @@ func (c *Cache) Invalidate(l mem.Line) (wasDirty, present bool) {
 	tag := uint64(l)
 	for i := range tags {
 		if tags[i] == tag {
-			w := &c.sets[si][i]
-			d := w.dirty
-			*w = way{}
+			d := c.flags[base+i]&wayDirty != 0
+			c.flags[base+i] = 0
+			c.filledAt[base+i] = 0
 			tags[i] = invalidTag
 			return d, true
 		}

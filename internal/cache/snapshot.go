@@ -12,15 +12,26 @@ import (
 // identical Config.
 func (c *Cache) Snapshot(w *checkpoint.Writer) {
 	w.Tag("cache")
-	w.Int(len(c.sets))
-	for _, set := range c.sets {
-		w.Int(len(set))
-		for _, wy := range set {
-			w.U64(uint64(wy.tag))
-			w.Bool(wy.valid)
-			w.Bool(wy.dirty)
-			w.Bool(wy.prefetch)
-			w.U64(wy.filledAt)
+	assoc := c.cfg.Assoc
+	nsets := len(c.tags) / assoc
+	w.Int(nsets)
+	for si := 0; si < nsets; si++ {
+		w.Int(assoc)
+		for wi := 0; wi < assoc; wi++ {
+			i := si*assoc + wi
+			fl := c.flags[i]
+			// An empty way serializes a zero tag (not the invalidTag
+			// sentinel), preserving the byte layout of the previous
+			// way-struct state.
+			tag := uint64(0)
+			if fl&wayValid != 0 {
+				tag = c.tags[i]
+			}
+			w.U64(tag)
+			w.Bool(fl&wayValid != 0)
+			w.Bool(fl&wayDirty != 0)
+			w.Bool(fl&wayPrefetch != 0)
+			w.U64(c.filledAt[i])
 		}
 	}
 	w.U64s(c.lru)
@@ -51,29 +62,39 @@ func (c *Cache) Snapshot(w *checkpoint.Writer) {
 // lookup fast path reads.
 func (c *Cache) Restore(r *checkpoint.Reader) {
 	r.Tag("cache")
-	if n := r.Int(); n != len(c.sets) && r.Err() == nil {
-		r.Failf("cache set count %d, configured %d", n, len(c.sets))
+	assoc := c.cfg.Assoc
+	nsets := len(c.tags) / assoc
+	if n := r.Int(); n != nsets && r.Err() == nil {
+		r.Failf("cache set count %d, configured %d", n, nsets)
 		return
 	}
-	for si := range c.sets {
-		set := c.sets[si]
-		if n := r.Int(); n != len(set) && r.Err() == nil {
-			r.Failf("cache associativity %d, configured %d", n, len(set))
+	for si := 0; si < nsets; si++ {
+		if n := r.Int(); n != assoc && r.Err() == nil {
+			r.Failf("cache associativity %d, configured %d", n, assoc)
 			return
 		}
-		for wi := range set {
-			wy := &set[wi]
-			wy.tag = r.U64()
-			wy.valid = r.Bool()
-			wy.dirty = r.Bool()
-			wy.prefetch = r.Bool()
-			wy.filledAt = r.U64()
-			// Rebuild the flat tag mirror exactly as fills do.
-			idx := si*len(set) + wi
-			if wy.valid {
-				c.tags[idx] = wy.tag
+		for wi := 0; wi < assoc; wi++ {
+			i := si*assoc + wi
+			tag := r.U64()
+			valid := r.Bool()
+			var fl uint8
+			if valid {
+				fl |= wayValid
+			}
+			if r.Bool() {
+				fl |= wayDirty
+			}
+			if r.Bool() {
+				fl |= wayPrefetch
+			}
+			c.flags[i] = fl
+			c.filledAt[i] = r.U64()
+			// Rebuild the tag array exactly as fills do: empty ways
+			// hold the sentinel.
+			if valid {
+				c.tags[i] = tag
 			} else {
-				c.tags[idx] = invalidTag
+				c.tags[i] = invalidTag
 			}
 		}
 	}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+
+	"ulmt/internal/checkpoint"
+	"ulmt/internal/mem"
+	"ulmt/internal/prefetch"
+	"ulmt/internal/queue"
+	"ulmt/internal/workload"
+)
+
+// Fork-from-warm execution, leader side.
+//
+// A fork family's leader run records, next to its normal simulation,
+// everything a follower needs to find its exact divergence point and
+// resume from the latest shared state:
+//
+//   - a decision log: one record per config-sensitive choice point, in
+//     event order. ULMT sessions carry a 128-bit hash of the session's
+//     complete machine interaction (prefetch.SessionTrace); Filter
+//     admissions carry the line and the leader's outcome; queue
+//     cross-matches and L2 push arrivals mark the sites where the
+//     DisableCrossMatch and DropPushes ablations first act.
+//   - a snapshot ring: K quiescent-point snapshots of the full packed
+//     machine state, each stamped with the decision-log length at
+//     capture. Buffers are recycled through checkpoint.NewWriterInto,
+//     so a steady-state snapshot allocates nothing.
+//
+// A follower replays the log through its own configuration until the
+// first record whose outcome differs — index k — then restores the
+// latest snapshot whose log length is <= k. Records before k prove
+// both machines did byte-identical work, so the snapshot state is the
+// follower's own state; components the follower configures differently
+// (its algorithm, its Filter) are rebuilt by replay and spliced in at
+// restore (ForkSplice). Any gap — log overflowed, no snapshot early
+// enough, payload refuses to parse — falls back to scratch execution,
+// which is always correct.
+
+// ForkRecordKind classifies one decision-log entry.
+type ForkRecordKind uint8
+
+const (
+	// RecSession is one ULMT session: Line is the observed miss,
+	// H1/H2 the session's decision hash.
+	RecSession ForkRecordKind = iota
+	// RecFilter is one Filter admission test: Line and the leader's
+	// Admit outcome.
+	RecFilter
+	// RecXMatch marks a queue cross-match that fired (demand side or
+	// push side) — the first site where DisableCrossMatch diverges.
+	RecXMatch
+	// RecPush marks a prefetch push reaching the L2 boundary — the
+	// first site where DropPushes diverges.
+	RecPush
+)
+
+// ForkRecord is one decision-log entry.
+type ForkRecord struct {
+	Kind  ForkRecordKind
+	Admit bool
+	Line  mem.Line
+	H1    uint64
+	H2    uint64
+}
+
+// ForkSnapshot is one in-memory quiescent-point snapshot.
+type ForkSnapshot struct {
+	Payload []byte
+	// LogLen is the decision-log length at capture: the snapshot is
+	// usable by a follower diverging at record index k iff LogLen <= k.
+	LogLen int
+	// Events is the engine's fired-event count at capture.
+	Events uint64
+}
+
+// ForkRecorder collects the decision log and snapshot ring of a
+// leader run. Attach with System.RecordFork before RunControlled.
+// The zero value is not usable; call NewForkRecorder.
+type ForkRecorder struct {
+	// Log holds the first LogCap records; Overflowed reports that
+	// later records were seen but not kept (followers then treat the
+	// log end as a conservative divergence point).
+	Log        []ForkRecord
+	LogCap     int
+	Overflowed bool
+
+	// Snaps is the snapshot ring, oldest first, log-length stamped.
+	Snaps []ForkSnapshot
+
+	// FilterSize is the leader's Filter capacity, stamped by
+	// RecordFork; followers use it to shape a splice Filter.
+	FilterSize int
+
+	// SnapEvery is the event interval between capture attempts; it
+	// doubles every time the ring thins, spreading a fixed snapshot
+	// budget over an arbitrarily long run. MaxSnaps and MaxSnapBytes
+	// bound the ring (count and payload bytes).
+	SnapEvery    uint64
+	MaxSnaps     int
+	MaxSnapBytes int
+
+	nextSnapAt uint64
+	ringBytes  int
+	peakBytes  int
+	free       [][]byte
+	// lastCap remembers the previous payload's capacity so a capture
+	// with an empty freelist starts right-sized instead of doubling
+	// its way up through append.
+	lastCap int
+
+	trace prefetch.SessionTrace
+}
+
+// Fork tuning defaults. The log cap bounds leader-side memory (32 B a
+// record). The genesis snapshot anchors the ring at log length zero
+// for free, so the periodic cadence can afford to be sparse: capture
+// cost is a full-machine serialization, and a ring that samples too
+// eagerly spends more leader time snapshotting than any follower
+// saves. Interval doubling keeps arbitrarily long runs covered
+// end-to-end with the same slot count.
+const (
+	defaultForkLogCap   = 4 << 20
+	defaultForkSnapEvry = 1 << 19
+	defaultForkMaxSnaps = 8
+	defaultForkMaxBytes = 128 << 20
+)
+
+// NewForkRecorder returns a recorder with the default bounds.
+func NewForkRecorder() *ForkRecorder {
+	return &ForkRecorder{
+		LogCap:       defaultForkLogCap,
+		SnapEvery:    defaultForkSnapEvry,
+		MaxSnaps:     defaultForkMaxSnaps,
+		MaxSnapBytes: defaultForkMaxBytes,
+	}
+}
+
+// PeakRingBytes reports the largest payload total the snapshot ring
+// held, for the host footer's snapshot_ring_bytes accounting.
+func (f *ForkRecorder) PeakRingBytes() int { return f.peakBytes }
+
+// add appends one record, or marks overflow once the cap is reached.
+// Keeping the first LogCap records (not the last) is deliberate:
+// follower replay always starts at record zero, so a prefix is usable
+// and a suffix is not.
+func (f *ForkRecorder) add(rec ForkRecord) {
+	if len(f.Log) >= f.LogCap {
+		f.Overflowed = true
+		return
+	}
+	if cap(f.Log) == 0 {
+		// Leaders log one record per ULMT session; start with a chunk
+		// instead of append's smallest growth steps.
+		f.Log = make([]ForkRecord, 0, min(f.LogCap, 1<<16))
+	}
+	f.Log = append(f.Log, rec)
+}
+
+// SnapAtOrBefore returns the latest snapshot whose log length is at
+// most div, or nil if none qualifies (the follower then starts from
+// scratch — correct, just unshared).
+func (f *ForkRecorder) SnapAtOrBefore(div int) *ForkSnapshot {
+	for i := len(f.Snaps) - 1; i >= 0; i-- {
+		if f.Snaps[i].LogLen <= div {
+			return &f.Snaps[i]
+		}
+	}
+	return nil
+}
+
+// wantSnapshot reports whether the run has advanced far enough for
+// the next capture attempt. Once the log has overflowed, capture stops
+// for good: a snapshot taken past the overflow point would reflect
+// dropped records no follower can verify against, so it could never be
+// proven shared.
+func (f *ForkRecorder) wantSnapshot(fired uint64) bool {
+	if f.Overflowed {
+		return false
+	}
+	at := f.nextSnapAt
+	if at == 0 {
+		// First capture: derived lazily from SnapEvery so callers can
+		// retune the cadence after construction.
+		at = f.SnapEvery
+	}
+	return fired >= at
+}
+
+// capture snapshots the machine (which must be at a quiescent point)
+// into the ring, thinning it first if full.
+func (f *ForkRecorder) capture(s *System) {
+	for len(f.Snaps) >= f.MaxSnaps || (f.ringBytes >= f.MaxSnapBytes && len(f.Snaps) > 1) {
+		f.thin()
+	}
+	var buf []byte
+	if n := len(f.free); n > 0 {
+		buf = f.free[n-1]
+		f.free = f.free[:n-1]
+	} else if f.lastCap > 0 {
+		buf = make([]byte, 0, f.lastCap)
+	}
+	w := checkpoint.NewWriterInto(buf)
+	s.snapshot(w)
+	payload := w.Bytes()
+	f.lastCap = cap(payload)
+	f.Snaps = append(f.Snaps, ForkSnapshot{
+		Payload: payload,
+		LogLen:  len(f.Log),
+		Events:  s.eng.Fired(),
+	})
+	f.ringBytes += len(payload)
+	if f.ringBytes > f.peakBytes {
+		f.peakBytes = f.ringBytes
+	}
+	f.nextSnapAt = s.eng.Fired() + f.SnapEvery
+}
+
+// thin drops every other snapshot and doubles the capture interval,
+// covering the whole run at geometrically coarser spacing. It keeps
+// the EARLIER of each pair: followers diverge at the first config-
+// sensitive difference, so the ring's value is concentrated at the
+// head of the run — the earliest capture must survive every thinning,
+// while recency is replenished by the captures still to come.
+func (f *ForkRecorder) thin() {
+	kept := f.Snaps[:0]
+	for i, sn := range f.Snaps {
+		if i%2 == 1 {
+			f.ringBytes -= len(sn.Payload)
+			f.free = append(f.free, sn.Payload)
+			continue
+		}
+		kept = append(kept, sn)
+	}
+	f.Snaps = kept
+	f.SnapEvery *= 2
+}
+
+// RecordFork attaches a fork recorder to this machine's next
+// controlled run. Only checkpoint-supporting configurations may
+// record (the snapshot ring reuses the checkpoint codecs). The
+// leader's Filter size is stamped on the recorder so followers that
+// splice a leader-shaped Filter can build one without reconstructing
+// the whole leader configuration.
+func (s *System) RecordFork(rec *ForkRecorder) {
+	if !s.SupportsCheckpoint() {
+		panic("core: fork recording on a configuration that cannot snapshot")
+	}
+	rec.FilterSize = s.cfg.FilterSize
+	s.fork = rec
+}
+
+// ForkSplice carries the follower-built components that replace the
+// leader's serialized ones when a forked follower restores a leader
+// snapshot. Components the follower configures identically restore
+// from the leader's bytes directly; the varied ones are parsed into a
+// leader-shaped throwaway (advancing the reader past them) while the
+// machine keeps its own replayed instances.
+type ForkSplice struct {
+	// DiscardULMT, when non-nil, absorbs the payload's algorithm
+	// section; the machine keeps its own cfg.ULMT state, which the
+	// caller replayed to the snapshot's log length.
+	DiscardULMT prefetch.Algorithm
+	// DiscardFilter, when non-nil, absorbs the payload's Filter
+	// section; the machine's own Filter is rebuilt via FilterReplay.
+	DiscardFilter *queue.Filter
+	// FilterReplay is the pre-divergence admission stream re-run
+	// through the machine's own Filter before restore.
+	FilterReplay []mem.Line
+}
+
+// ResumePayloadFork is ResumePayload with component splicing: it
+// restores a fork leader's snapshot into this freshly built follower
+// machine, substituting the follower's own algorithm and/or Filter
+// where the configurations differ. The continuation is bit-identical
+// to the follower's scratch run whenever the splice's preconditions
+// hold (the experiment layer establishes them via decision-log
+// replay); a payload that does not parse cleanly returns an error and
+// the caller falls back to scratch.
+func (s *System) ResumePayloadFork(app string, ops []workload.Op, payload []byte, sp *ForkSplice, ctl *RunControl) (Results, RunOutcome, error) {
+	if s.faults != nil || s.active != nil {
+		return Results{}, RunAborted, fmt.Errorf("core: fork resume into a faulted or active-threaded configuration")
+	}
+	if (sp == nil || sp.DiscardULMT == nil) && !prefetch.SupportsSnapshot(s.ulmt) {
+		return Results{}, RunAborted, fmt.Errorf("core: fork resume needs a snapshot-able algorithm or a splice")
+	}
+	if s.proc != nil {
+		return Results{}, RunAborted, fmt.Errorf("core: resume into an already-started system")
+	}
+	s.forkSplice = sp
+	defer func() { s.forkSplice = nil }()
+	return s.resumePayload(app, ops, payload, ctl)
+}

@@ -62,6 +62,11 @@ type Options struct {
 	// every run (the -fastpath=off oracle). Reports are bit-identical
 	// either way; only wall clock and event counts move.
 	NoFastPath bool
+	// NoFork disables fork-from-warm execution for every run (the
+	// -fork=off oracle): every configuration simulates from scratch.
+	// Reports are bit-identical either way; only wall clock and the
+	// forked/scratch run counts move.
+	NoFork bool
 
 	// Resume, with a Store attached, reuses completed results and
 	// mid-flight checkpoints found in the checkpoint directory instead
@@ -190,6 +195,20 @@ type Runner struct {
 	retried     atomic.Uint64
 	failed      atomic.Uint64
 
+	// fork is the fork-family structure of the planned run set
+	// (fork.go), built by ExecuteAll before its workers start; nil
+	// means every run computes from scratch. forkedRuns counts
+	// followers served from a leader's warm state; snapRingPeak is
+	// the largest snapshot-ring payload total any leader held.
+	fork         *forkPlan
+	forkedRuns   atomic.Uint64
+	snapRingPeak atomic.Uint64
+
+	// forkTune, when set (tests only), adjusts each leader recorder's
+	// bounds before its run, so tests can force tiny logs and dense
+	// snapshot rings.
+	forkTune func(*core.ForkRecorder)
+
 	// testHook, when set (tests only), runs at the top of every
 	// attempt's panic-isolation scope, so tests can inject failures.
 	testHook func(RunKey)
@@ -224,6 +243,19 @@ func (r *Runner) RunsComputed() uint64 { return r.computed.Load() }
 // concurrently with running workers (it is monotonic, not a
 // snapshot).
 func (r *Runner) EventsFired() uint64 { return r.eventsFired.Load() }
+
+// ForkedRuns reports how many runs were served from a fork-family
+// leader's warm state instead of simulating from scratch (including
+// the degenerate identical-configuration forks). ScratchRuns is the
+// complement: simulations executed from cycle zero — the same count
+// RunsComputed reports.
+func (r *Runner) ForkedRuns() uint64  { return r.forkedRuns.Load() }
+func (r *Runner) ScratchRuns() uint64 { return r.computed.Load() }
+
+// SnapshotRingBytes reports the largest in-memory snapshot-ring
+// payload total any fork leader held, the -fork machinery's memory
+// high-water mark.
+func (r *Runner) SnapshotRingBytes() uint64 { return r.snapRingPeak.Load() }
 
 // Ops returns (generating once) the op stream of an application.
 func (r *Runner) Ops(app string) []workload.Op {

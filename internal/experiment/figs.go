@@ -55,7 +55,9 @@ func (r *Runner) Fig5() []Fig5Row {
 		tr := r.MissTrace(app)
 		row := Fig5Row{App: app, Acc: make(map[string][]float64)}
 		for _, alg := range Fig5Algorithms {
-			row.Acc[alg] = prefetch.Accuracy(makePredictor(alg), tr)
+			p := makePredictor(alg)
+			row.Acc[alg] = prefetch.Accuracy(p, tr)
+			prefetch.RecyclePredictor(p)
 		}
 		out = append(out, row)
 	}

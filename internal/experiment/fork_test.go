@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"ulmt/internal/core"
+	"ulmt/internal/workload"
+)
+
+// forkFollowerLabels are the fork-family follower labels the
+// differential suite cycles through: every ablation plus the
+// non-identity sweep points, covering all four divergence classes and
+// the identical degenerate.
+var forkFollowerLabels = []string{
+	AblLearnFirst, AblNoCrossMatch, AblNoFilter, AblDropPushes,
+	AblNoPointers, AblAdaptive,
+	SweepLevelsLabel(1), SweepLevelsLabel(2), SweepLevelsLabel(3),
+	SweepLevelsLabel(4), SweepRowsLabel("*4"), SweepRowsLabel("*1"),
+	SweepRowsLabel("/4"),
+}
+
+// forkDiffOptions is the tiny-scale single-app matrix the fork
+// differential tests run on.
+func forkDiffOptions(noFork bool) Options {
+	return Options{
+		Scale:  workload.ScaleTiny,
+		Apps:   []string{"Mcf"},
+		Seed:   1,
+		NoFork: noFork,
+	}
+}
+
+// scratchResult computes a follower's results with forking disabled —
+// the oracle every forked result must match byte for byte.
+func scratchResult(t *testing.T, label string) core.Results {
+	t.Helper()
+	r := NewRunner(forkDiffOptions(true))
+	return r.Run("Mcf", label)
+}
+
+// forkedResult computes a follower under a fork plan with the given
+// recorder tuning, reporting whether the run was actually served from
+// the leader's warm state.
+func forkedResult(t *testing.T, label string, tune func(*core.ForkRecorder)) (core.Results, bool) {
+	t.Helper()
+	r := NewRunner(forkDiffOptions(false))
+	r.forkTune = tune
+	keys := []RunKey{
+		{App: "Mcf", Label: CfgRepl},
+		{App: "Mcf", Label: label},
+	}
+	if err := r.ExecuteAll(nil, keys, 2, nil); err != nil {
+		t.Fatalf("ExecuteAll: %v", err)
+	}
+	return r.Run("Mcf", label), r.ForkedRuns() > 0
+}
+
+// denseRing tunes a leader recorder for tiny-scale runs: a capture at
+// every quiescent point (with the ring's thinning spreading them
+// across the run) so even followers that diverge at their first
+// session find a pre-divergence snapshot and exercise the full
+// restore-and-splice path.
+func denseRing(rec *core.ForkRecorder) {
+	rec.SnapEvery = 1
+	rec.MaxSnaps = 24
+}
+
+// TestForkEquivalenceAllClasses is the deterministic core of the fork
+// guarantee: for every follower label, the forked results equal the
+// from-scratch results in every field (cycles, outcome counters, the
+// cache fingerprint, the ULMT stats — reflect.DeepEqual over all of
+// Results).
+func TestForkEquivalenceAllClasses(t *testing.T) {
+	for _, label := range forkFollowerLabels {
+		label := label
+		t.Run(label, func(t *testing.T) {
+			want := scratchResult(t, label)
+			got, forked := forkedResult(t, label, denseRing)
+			if !forked {
+				t.Fatalf("%s: no run forked under a dense snapshot ring", label)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("forked run diverges from scratch:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestForkLogEvictionFallback forces the decision log to overflow
+// almost immediately: the follower must treat the truncated log's end
+// as a conservative divergence point (or fall back to scratch
+// outright) and still produce byte-identical results.
+func TestForkLogEvictionFallback(t *testing.T) {
+	for _, label := range []string{AblNoCrossMatch, SweepLevelsLabel(2)} {
+		label := label
+		t.Run(label, func(t *testing.T) {
+			want := scratchResult(t, label)
+			got, _ := forkedResult(t, label, func(rec *core.ForkRecorder) {
+				denseRing(rec)
+				rec.LogCap = 48
+			})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("eviction fallback diverges from scratch:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestForkSparseRingFallback starves the follower of snapshots (one
+// capture opportunity far past most divergence points): early
+// divergers must fall back to scratch and still match.
+func TestForkSparseRingFallback(t *testing.T) {
+	want := scratchResult(t, AblNoPointers)
+	got, _ := forkedResult(t, AblNoPointers, func(rec *core.ForkRecorder) {
+		rec.SnapEvery = 1 << 62
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sparse-ring fallback diverges from scratch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// FuzzForkEquivalence drives the fork machinery across randomized
+// family members and recorder geometries — snapshot cadence, ring
+// size, log cap — and requires byte-identical results against the
+// scratch oracle every time. Failures here mean a follower reused
+// leader state it could not prove shared.
+func FuzzForkEquivalence(f *testing.F) {
+	f.Add(uint8(1), uint16(256), uint8(8), uint16(64))
+	f.Add(uint8(4), uint16(64), uint8(3), uint16(8))
+	f.Add(uint8(6), uint16(1024), uint8(24), uint16(4096))
+	f.Add(uint8(10), uint16(512), uint8(2), uint16(1))
+	f.Fuzz(func(t *testing.T, labelIdx uint8, snapEvery uint16, maxSnaps uint8, logCap uint16) {
+		label := forkFollowerLabels[int(labelIdx)%len(forkFollowerLabels)]
+		want := scratchResult(t, label)
+		got, _ := forkedResult(t, label, func(rec *core.ForkRecorder) {
+			rec.SnapEvery = uint64(snapEvery)%8192 + 1
+			rec.MaxSnaps = int(maxSnaps)%32 + 1
+			rec.LogCap = int(logCap) + 1
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("fork of %s (snapEvery=%d maxSnaps=%d logCap=%d) diverges from scratch",
+				label, snapEvery, maxSnaps, logCap)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ulmt/internal/core"
+	"ulmt/internal/prefetch"
 )
 
 // Self-healing execution: every simulation runs under a
@@ -35,22 +36,6 @@ type simOutcome struct {
 type activeRun struct {
 	ctl            *core.RunControl
 	checkpointable bool
-}
-
-// canonicalKey folds labels that build structurally identical
-// configurations onto one representative, so the run matrix simulates
-// each distinct machine once and variants fork from that shared
-// result instead of re-simulating the common work. Today the aliases
-// are the sweep's identity points: Sweep/NumLevels=3 and
-// Sweep/NumRows*1 both build exactly the Repl machine
-// (table.ReplParams defaults NumLevels to 3, and the *1 row factor is
-// the app's sized row count unchanged) — see TestSweepAliasIdentity.
-func canonicalKey(k RunKey) RunKey {
-	switch k.Label {
-	case SweepLevelsLabel(3), SweepRowsLabel("*1"):
-		return RunKey{App: k.App, Label: CfgRepl}
-	}
-	return k
 }
 
 // Interrupt stops the matrix: in-flight runs that can checkpoint are
@@ -91,15 +76,14 @@ func (r *Runner) unregister(k RunKey) {
 	r.mu.Unlock()
 }
 
-// outcome returns the memoized outcome for a key's canonical
-// configuration, computing it (with healing) on first use.
+// outcome returns the memoized outcome for a key, computing it (with
+// forking and healing) on first use.
 func (r *Runner) outcome(k RunKey) simOutcome {
-	ck := canonicalKey(k)
-	return r.runs.get(ck, func() simOutcome { return r.compute(ck) })
+	return r.runs.get(k, func() simOutcome { return r.compute(k) })
 }
 
-// compute runs one simulation with resume, retry and persistence
-// around it. It runs at most once per canonical key (single-flight
+// compute runs one simulation with resume, fork, retry and
+// persistence around it. It runs at most once per key (single-flight
 // memo) and its attempts are strictly sequential.
 func (r *Runner) compute(k RunKey) simOutcome {
 	if r.store != nil && r.opt.Resume {
@@ -111,6 +95,18 @@ func (r *Runner) compute(k RunKey) simOutcome {
 			// A corrupt result file is re-run, not rendered.
 			fmt.Fprintf(os.Stderr, "ulmtsim: discarding %v; re-running\n", err)
 		}
+	}
+	// A planned fork follower first tries to continue from its
+	// leader's warm state (fork.go); any unmet precondition falls
+	// through to the scratch path below.
+	if out, ok := r.computeForked(k); ok {
+		if out.err == nil && r.store != nil {
+			if serr := r.store.SaveResult(k, out.res); serr != nil {
+				fmt.Fprintf(os.Stderr, "ulmtsim: persisting %s/%s: %v\n", k.App, k.Label, serr)
+			}
+			r.store.RemoveCheckpoint(k)
+		}
+		return out
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -155,7 +151,12 @@ func (r *Runner) attempt(k RunKey) (res core.Results, err error) {
 	if h := r.testHook; h != nil {
 		h(k)
 	}
-	sys, err := core.NewSystem(r.BuildConfig(k.App, k.Label))
+	cfg := r.BuildConfig(k.App, k.Label)
+	// The config's correlation table is this attempt's largest
+	// allocation; retire it for the next same-geometry build once the
+	// machine is done with it (all results and checkpoints written).
+	defer func() { prefetch.RecycleTables(cfg.ULMT) }()
+	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return core.Results{}, err
 	}
@@ -175,11 +176,15 @@ func (r *Runner) attempt(k RunKey) (res core.Results, err error) {
 	}
 
 	var out core.RunOutcome
+	var rec *core.ForkRecorder
 	ckptPath := ""
 	if checkpointable {
 		ckptPath = r.store.CheckpointPath(k)
 	}
 	if checkpointable && r.opt.Resume && r.store.HasCheckpoint(k) {
+		// A run resumed mid-flight cannot fork-record: its decision
+		// log would start mid-run, and followers replay from record
+		// zero. Followers of this leader fall back to scratch.
 		var rerr error
 		res, out, rerr = sys.ResumeCheckpoint(k.App, ops, ckptPath, r.store.Fingerprint(), ctl)
 		if rerr != nil {
@@ -187,12 +192,16 @@ func (r *Runner) attempt(k RunKey) (res core.Results, err error) {
 			// recovery: discard it and run from the beginning.
 			fmt.Fprintf(os.Stderr, "ulmtsim: discarding checkpoint for %s/%s: %v\n", k.App, k.Label, rerr)
 			r.store.RemoveCheckpoint(k)
-			if sys, err = core.NewSystem(r.BuildConfig(k.App, k.Label)); err != nil {
+			prefetch.RecycleTables(cfg.ULMT)
+			cfg = r.BuildConfig(k.App, k.Label)
+			if sys, err = core.NewSystem(cfg); err != nil {
 				return core.Results{}, err
 			}
+			rec = r.newForkRecorder(k, sys)
 			res, out = sys.RunControlled(k.App, ops, ctl)
 		}
 	} else {
+		rec = r.newForkRecorder(k, sys)
 		res, out = sys.RunControlled(k.App, ops, ctl)
 	}
 
@@ -201,6 +210,7 @@ func (r *Runner) attempt(k RunKey) (res core.Results, err error) {
 		res.Label = k.Label
 		r.computed.Add(1)
 		r.eventsFired.Add(res.EventsFired)
+		r.publishForkTrace(k, rec)
 		return res, nil
 	case core.RunCheckpointed:
 		if werr := sys.WriteCheckpoint(ckptPath, r.store.Fingerprint()); werr != nil {

@@ -104,15 +104,16 @@ func TestPlanCoversRender(t *testing.T) {
 	if err := r.ExecuteAll(nil, keys, 4, nil); err != nil {
 		t.Fatalf("ExecuteAll: %v", err)
 	}
-	// Labels that build identical configurations share one simulation
-	// (canonicalKey), so the distinct canonical keys are what executes.
-	canon := make(map[RunKey]bool, len(keys))
-	for _, k := range keys {
-		canon[canonicalKey(k)] = true
-	}
+	// Every planned key is either simulated from scratch or served
+	// from a fork-family leader's warm state (fork.go); nothing is
+	// skipped and nothing runs twice. The identity aliases
+	// (Sweep/NumLevels=3, Sweep/NumRows*1) fork at minimum.
 	planned := r.RunsComputed()
-	if planned != uint64(len(canon)) {
-		t.Fatalf("executed %d of %d planned canonical runs (%d keys)", planned, len(canon), len(keys))
+	if planned+r.ForkedRuns() != uint64(len(keys)) {
+		t.Fatalf("executed %d + forked %d runs != %d planned keys", planned, r.ForkedRuns(), len(keys))
+	}
+	if r.ForkedRuns() < 4 {
+		t.Errorf("forked %d runs, want >= 4 (two identity aliases on each sweep app)", r.ForkedRuns())
 	}
 	for _, exp := range exps {
 		if err := r.Render(io.Discard, exp); err != nil {

@@ -58,7 +58,11 @@ func (r *Runner) ExperimentRuns(exp string) []RunKey {
 		return matrix([]string{AblationApp},
 			append([]string{CfgNoPref, CfgRepl}, AblationConfigs...))
 	case "sweep":
-		return matrix(SweepApps, append([]string{CfgNoPref}, SweepConfigs()...))
+		// CfgRepl is declared explicitly: it is the sweep's identity
+		// point (Sweep/NumLevels=3 and Sweep/NumRows*1 build exactly
+		// that machine) and the fork-family leader every other sweep
+		// point forks from (fork.go).
+		return matrix(SweepApps, append([]string{CfgNoPref, CfgRepl}, SweepConfigs()...))
 	case "faults":
 		return matrix(apps, []string{CfgNoPref, CfgRepl})
 	}
@@ -114,6 +118,10 @@ func (r *Runner) ExecuteAll(ctx context.Context, keys []RunKey, workers int, onD
 	if len(keys) == 0 {
 		return nil
 	}
+	// Derive the fork families of this run set and schedule leaders
+	// ahead of their followers (fork.go).
+	r.planFork(keys)
+	keys = r.forkOrder(keys)
 
 	// Fan the context's cancellation out to the in-flight runs.
 	cancelDone := make(chan struct{})

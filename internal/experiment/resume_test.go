@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ulmt/internal/core"
+	"ulmt/internal/table"
 	"ulmt/internal/workload"
 )
 
@@ -28,24 +29,39 @@ func storeFor(t *testing.T, opt Options) (*Store, string) {
 	return s, dir
 }
 
-// TestSweepAliasIdentity proves the canonicalKey aliases are sound:
-// the aliased labels build configurations structurally identical to
-// Repl's, and asking for an aliased label after Repl has run costs no
-// additional simulation yet reports under its own label.
+// TestSweepAliasIdentity proves the forkIdentical class is sound: the
+// identity-point sweep labels build configurations structurally
+// identical to Repl's, and under a fork plan they cost no additional
+// simulation yet report under their own labels.
 func TestSweepAliasIdentity(t *testing.T) {
+	// Recycled successor arenas carry unobservable stale words, so two
+	// structurally identical builds are only byte-identical (DeepEqual)
+	// when both draw fresh arenas.
+	table.FlushArenaPool()
 	r := NewRunner(resumeOptions())
 	base := r.BuildConfig("Mcf", CfgRepl)
-	for _, label := range []string{SweepLevelsLabel(3), SweepRowsLabel("*1")} {
+	aliases := []string{SweepLevelsLabel(3), SweepRowsLabel("*1")}
+	for _, label := range aliases {
 		if got := r.BuildConfig("Mcf", label); !reflect.DeepEqual(got, base) {
 			t.Errorf("%s builds a different machine than %s", label, CfgRepl)
 		}
 	}
 
+	keys := []RunKey{{App: "Mcf", Label: CfgRepl}}
+	for _, label := range aliases {
+		keys = append(keys, RunKey{App: "Mcf", Label: label})
+	}
+	if err := r.ExecuteAll(nil, keys, 2, nil); err != nil {
+		t.Fatalf("ExecuteAll: %v", err)
+	}
 	res := r.Run("Mcf", CfgRepl)
 	if n := r.RunsComputed(); n != 1 {
 		t.Fatalf("computed %d runs, want 1", n)
 	}
-	for _, label := range []string{SweepLevelsLabel(3), SweepRowsLabel("*1")} {
+	if n := r.ForkedRuns(); n != 2 {
+		t.Fatalf("forked %d runs, want 2", n)
+	}
+	for _, label := range aliases {
 		got := r.Run("Mcf", label)
 		if got.Label != label {
 			t.Errorf("aliased run label = %q, want %q", got.Label, label)

@@ -131,7 +131,8 @@ func (r *Runner) Table2() []Table2Row {
 	var out []Table2Row
 	for _, app := range r.opt.apps() {
 		tr := r.MissTrace(app)
-		rows, rate := table.SizeRows(tr, 2, 0.05, 1<<10, 1<<22)
+		sz := r.sizeRows(app)
+		rows, rate := sz.rows, sz.rate
 		b, c, rp := table.TableSizes(rows)
 		out = append(out, Table2Row{
 			App: app, Misses: len(tr), NumRows: rows, ReplaceRate: rate,

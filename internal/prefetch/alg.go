@@ -107,8 +107,10 @@ func (c *Chain) Learn(m mem.Line, s table.Sink) { c.T.Learn(m, s) }
 // NumLevels rows through the last-miss pointers.
 type Repl struct {
 	T *table.ReplTable
-	// view is the reused snapshot buffer for Levels, keeping the
-	// prefetch step allocation-free.
+	// view is reused across prefetch steps. It holds aliases into the
+	// table's packed row (LevelsAlias), which is safe because Prefetch
+	// drains it through emit before returning — nothing mutates the
+	// table mid-step.
 	view table.LevelView
 }
 
@@ -121,7 +123,7 @@ func (r *Repl) Name() string { return "Repl" }
 // Prefetch implements Algorithm.
 func (r *Repl) Prefetch(m mem.Line, s table.Sink, emit func(mem.Line)) {
 	s.Instr(table.InstrLoop)
-	if !r.T.Levels(m, s, &r.view) {
+	if !r.T.LevelsAlias(m, s, &r.view) {
 		return
 	}
 	for i := 0; i < r.view.NumLevels(); i++ {
@@ -178,5 +180,23 @@ func (f *Func) Prefetch(m mem.Line, s table.Sink, emit func(mem.Line)) {
 func (f *Func) Learn(m mem.Line, s table.Sink) {
 	if f.OnLearn != nil {
 		f.OnLearn(m, s)
+	}
+}
+
+// RecycleTables retires an algorithm's correlation tables, returning
+// their successor arenas to the table package's pool for a future
+// same-geometry build. Call only when the algorithm (and any machine
+// holding it) is finished; the tables are unusable afterwards.
+func RecycleTables(a Algorithm) {
+	switch alg := a.(type) {
+	case *Base:
+		alg.T.Recycle()
+	case *Chain:
+		alg.T.Recycle()
+	case *Repl:
+		alg.T.Recycle()
+	case *Combined:
+		RecycleTables(alg.First)
+		RecycleTables(alg.Second)
 	}
 }

@@ -1,0 +1,141 @@
+package prefetch
+
+import (
+	"ulmt/internal/mem"
+	"ulmt/internal/table"
+)
+
+// Fork-from-warm support: a ULMT session's complete interaction with
+// the rest of the machine — the table-walk cost stream it reports to
+// its memory-processor session, where the response point falls in
+// that stream, and the prefetch lines it emits — is a pure function
+// of (algorithm state, observed miss line, phase ordering). A leader
+// run hashes that interaction per session; a fork follower replays
+// the same observation stream through its *own* algorithm instance
+// and compares hashes. The first session whose hash differs is the
+// follower's exact divergence point: up to it, both machines issued
+// byte-identical work, so every other component (caches, queues,
+// DRAM, the memory processor's own cache) evolved identically and the
+// leader's snapshot state is the follower's state.
+
+// SessionTrace accumulates a 128-bit decision hash of one ULMT
+// session. It implements table.Sink so it can ride a table.TeeSink
+// next to the real cost accountant on the leader, or drive a replayed
+// algorithm directly on a follower. Two independent 64-bit FNV-style
+// accumulators keep accidental collisions out of reach of the run
+// lengths involved (billions of sessions would be needed to matter).
+type SessionTrace struct {
+	a, b uint64
+}
+
+const (
+	traceOffsetA = 0xcbf29ce484222325
+	traceOffsetB = 0x9e3779b97f4a7c15
+	tracePrimeA  = 0x100000001b3
+	tracePrimeB  = 0x9ddfea08eb382d69
+
+	// Distinct op tags keep different call kinds from aliasing to the
+	// same mixed words (a Touch must never hash like an Instr+Emit).
+	tagTouch = 0x54
+	tagInstr = 0x49
+	tagMark  = 0x4d
+	tagEmit  = 0x45
+)
+
+// Reset starts a new session hash.
+func (t *SessionTrace) Reset() { t.a, t.b = traceOffsetA, traceOffsetB }
+
+func (t *SessionTrace) mix(v uint64) {
+	t.a = (t.a ^ v) * tracePrimeA
+	t.b = (t.b + v) * tracePrimeB
+	t.b ^= t.b >> 29
+}
+
+// Touch implements table.Sink.
+func (t *SessionTrace) Touch(addr mem.Addr, size int, write bool) {
+	w := uint64(size) << 1
+	if write {
+		w |= 1
+	}
+	t.mix(tagTouch)
+	t.mix(uint64(addr))
+	t.mix(w)
+}
+
+// Instr implements table.Sink.
+func (t *SessionTrace) Instr(n int) {
+	t.mix(tagInstr)
+	t.mix(uint64(n))
+}
+
+// Mark records where the session's response point falls in the op
+// stream (the prefetch/learn phase boundary, which LearnFirst moves).
+func (t *SessionTrace) Mark() { t.mix(tagMark) }
+
+// Emit folds one emitted prefetch line into the hash.
+func (t *SessionTrace) Emit(l mem.Line) {
+	t.mix(tagEmit)
+	t.mix(uint64(l))
+}
+
+// Sum returns the session's 128-bit decision hash.
+func (t *SessionTrace) Sum() (uint64, uint64) { return t.a, t.b }
+
+// RunSession drives one ULMT session through alg in the controller's
+// phase order (paper §3.1: prefetch before learn, unless the
+// LearnFirst ablation inverts it), calling mark exactly where
+// pumpULMT marks the response point. Leader recording and follower
+// replay both go through this function, so the phase ordering — and
+// therefore the hashed op stream — has a single definition.
+func RunSession(alg Algorithm, learnFirst bool, obs mem.Line, s table.Sink, emit func(mem.Line), mark func()) {
+	if learnFirst {
+		// Ablation: naive ordering. Response spans both steps.
+		alg.Learn(obs, s)
+		alg.Prefetch(obs, s, emit)
+		mark()
+	} else {
+		alg.Prefetch(obs, s, emit)
+		mark()
+		alg.Learn(obs, s)
+	}
+}
+
+// SessionReplayer re-executes recorded observations against a
+// follower's own algorithm instance and reports each session's
+// decision hash. The emit filter matches the controller's collect
+// callback (the observed line itself is never deposited).
+type SessionReplayer struct {
+	trace SessionTrace
+	emits []mem.Line
+	obs   mem.Line
+	emit  func(mem.Line)
+	mark  func()
+}
+
+// NewSessionReplayer builds a replayer whose closures are allocated
+// once (replay runs per recorded session; per-call closures would
+// churn).
+func NewSessionReplayer() *SessionReplayer {
+	r := &SessionReplayer{}
+	r.emit = func(l mem.Line) {
+		if l != r.obs {
+			r.emits = append(r.emits, l)
+		}
+	}
+	r.mark = r.trace.Mark
+	return r
+}
+
+// Replay runs one session of obs through alg and returns its decision
+// hash. The algorithm instance advances state exactly as the live
+// controller would.
+func (r *SessionReplayer) Replay(alg Algorithm, learnFirst bool, obs mem.Line) (uint64, uint64) {
+	r.trace.Reset()
+	r.obs = obs
+	r.emits = r.emits[:0]
+	RunSession(alg, learnFirst, obs, &r.trace, r.emit, r.mark)
+	for _, l := range r.emits {
+		r.trace.Emit(l)
+	}
+	return r.trace.Sum()
+}

@@ -31,6 +31,9 @@ type tracked struct {
 	learn   func(m mem.Line)
 	predict func(m mem.Line) [][]mem.Line
 	scratch []bool
+	// retire, when set, recycles the underlying table's arena; see
+	// RecyclePredictor.
+	retire func()
 }
 
 func newTracked(name string, levels int, learn func(mem.Line), predict func(mem.Line) [][]mem.Line) *tracked {
@@ -67,18 +70,25 @@ func (t *tracked) Consume(m mem.Line) []bool {
 	}
 	t.learn(m)
 	p := t.predict(m)
-	// Shift history: predictions made k misses ago become k+1.
+	// Shift history: predictions made k misses ago become k+1. The
+	// slot falling off the end is recycled as the clone target, so the
+	// per-miss bookkeeping allocates nothing in steady state.
+	old := t.hist[t.levels-1]
 	copy(t.hist[1:], t.hist)
-	t.hist[0] = clonePreds(p)
+	t.hist[0] = clonePredsInto(old, p)
 	return t.scratch
 }
 
-func clonePreds(p [][]mem.Line) [][]mem.Line {
-	out := make([][]mem.Line, len(p))
-	for i, lv := range p {
-		out[i] = append([]mem.Line(nil), lv...)
+// clonePredsInto copies p into dst, reusing dst's backing arrays.
+func clonePredsInto(dst, p [][]mem.Line) [][]mem.Line {
+	if cap(dst) < len(p) {
+		dst = append(dst[:cap(dst)], make([][]mem.Line, len(p)-cap(dst))...)
 	}
-	return out
+	dst = dst[:len(p)]
+	for i, lv := range p {
+		dst[i] = append(dst[i][:0], lv...)
+	}
+	return dst
 }
 
 // NewBasePredictor predicts only the immediate successor level using
@@ -86,11 +96,13 @@ func clonePreds(p [][]mem.Line) [][]mem.Line {
 func NewBasePredictor(p table.Params) Predictor {
 	t := table.NewBase(p, 0)
 	var sink table.NullSink
-	return newTracked("Base", 1,
+	tr := newTracked("Base", 1,
 		func(m mem.Line) { t.Learn(m, sink) },
 		func(m mem.Line) [][]mem.Line {
 			return [][]mem.Line{t.Successors(m, sink)}
 		})
+	tr.retire = t.Recycle
+	return tr
 }
 
 // NewChainPredictor predicts levels by walking the MRU path, like the
@@ -98,10 +110,15 @@ func NewBasePredictor(p table.Params) Predictor {
 func NewChainPredictor(p table.Params, levels int) Predictor {
 	t := table.NewBase(p, 0)
 	var sink table.NullSink
-	return newTracked("Chain", levels,
+	out := make([][]mem.Line, levels)
+	tr := newTracked("Chain", levels,
 		func(m mem.Line) { t.Learn(m, sink) },
 		func(m mem.Line) [][]mem.Line {
-			out := make([][]mem.Line, levels)
+			// out is reused across calls (Consume clones it before the
+			// next predict); levels past the chain break stay nil.
+			for i := range out {
+				out[i] = nil
+			}
 			cur := m
 			for k := 0; k < levels; k++ {
 				succ := t.Successors(cur, sink)
@@ -113,6 +130,8 @@ func NewChainPredictor(p table.Params, levels int) Predictor {
 			}
 			return out
 		})
+	tr.retire = t.Recycle
+	return tr
 }
 
 // NewReplPredictor predicts each level from the true-MRU per-level
@@ -122,19 +141,21 @@ func NewReplPredictor(p table.Params) Predictor {
 	var sink table.NullSink
 	var view table.LevelView
 	out := make([][]mem.Line, p.NumLevels)
-	return newTracked("Repl", p.NumLevels,
+	tr := newTracked("Repl", p.NumLevels,
 		func(m mem.Line) { t.Learn(m, sink) },
 		func(m mem.Line) [][]mem.Line {
-			if !t.Levels(m, sink, &view) {
+			if !t.LevelsAlias(m, sink, &view) {
 				return nil
 			}
-			// The level slices stay valid until the next Levels call;
+			// The aliased level slices stay valid until the next Learn;
 			// Consume clones them immediately after predict returns.
 			for i := range out {
 				out[i] = view.Level(i)
 			}
 			return out
 		})
+	tr.retire = t.Recycle
+	return tr
 }
 
 // NewSeqPredictor predicts level k as "k lines further along each
@@ -150,6 +171,7 @@ func NewSeqPredictor(numSeq, levels int) Predictor {
 	}
 	var sink table.NullSink
 	discard := func(mem.Line) {}
+	out := make([][]mem.Line, levels)
 	return newTracked(q.Name(), levels,
 		func(m mem.Line) {
 			// Prefetch advances matching streams; Learn runs stream
@@ -158,8 +180,10 @@ func NewSeqPredictor(numSeq, levels int) Predictor {
 			q.Learn(m, sink)
 		},
 		func(m mem.Line) [][]mem.Line {
-			out := make([][]mem.Line, levels)
+			// out is reused across calls (Consume clones it before the
+			// next predict).
 			for k := 0; k < levels; k++ {
+				out[k] = out[k][:0]
 				for i := range q.streams {
 					r := &q.streams[i]
 					if r.valid {
@@ -174,9 +198,10 @@ func NewSeqPredictor(numSeq, levels int) Predictor {
 // orPredictor combines predictors: a level is correct when any
 // component predicted it, modeling combinations like Seq4+Repl.
 type orPredictor struct {
-	name string
-	subs []Predictor
-	lv   int
+	name    string
+	subs    []Predictor
+	lv      int
+	scratch []bool
 }
 
 // NewCombinedPredictor ORs the given predictors.
@@ -187,7 +212,7 @@ func NewCombinedPredictor(name string, subs ...Predictor) Predictor {
 			lv = s.Levels()
 		}
 	}
-	return &orPredictor{name: name, subs: subs, lv: lv}
+	return &orPredictor{name: name, subs: subs, lv: lv, scratch: make([]bool, lv)}
 }
 
 // Name implements Predictor.
@@ -198,7 +223,10 @@ func (o *orPredictor) Levels() int { return o.lv }
 
 // Consume implements Predictor.
 func (o *orPredictor) Consume(m mem.Line) []bool {
-	out := make([]bool, o.lv)
+	out := o.scratch
+	for i := range out {
+		out[i] = false
+	}
 	for _, s := range o.subs {
 		for k, ok := range s.Consume(m) {
 			if ok {
@@ -207,6 +235,22 @@ func (o *orPredictor) Consume(m mem.Line) []bool {
 		}
 	}
 	return out
+}
+
+// RecyclePredictor retires a predictor's correlation table (if it has
+// one), returning the successor arena to the table package's pool.
+// The predictor is unusable afterwards.
+func RecyclePredictor(p Predictor) {
+	switch q := p.(type) {
+	case *tracked:
+		if q.retire != nil {
+			q.retire()
+		}
+	case *orPredictor:
+		for _, s := range q.subs {
+			RecyclePredictor(s)
+		}
+	}
 }
 
 // Accuracy runs a predictor over a miss trace and returns the

@@ -169,3 +169,40 @@ func TestQueueLenBoundedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFilterMatchesReference pins the signature-accelerated Admit to a
+// naive sliding-window reference across random streams with heavy line
+// reuse (small modulus forces FIFO wraps, evictions, and readmissions)
+// and across awkward capacities (not multiples of the 8-slot signature
+// word).
+func TestFilterMatchesReference(t *testing.T) {
+	for _, capacity := range []int{1, 3, 8, 13, 32} {
+		fl, err := NewFilter(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref []mem.Line
+		refAdmit := func(l mem.Line) bool {
+			for _, e := range ref {
+				if e == l {
+					return false
+				}
+			}
+			if len(ref) >= capacity {
+				ref = ref[1:]
+			}
+			ref = append(ref, l)
+			return true
+		}
+		// Deterministic pseudo-random stream; modulus near capacity
+		// keeps the hit rate high.
+		x := uint64(0x243f6a8885a308d3)
+		for i := 0; i < 20000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			l := mem.Line(x % uint64(3*capacity))
+			if got, want := fl.Admit(l), refAdmit(l); got != want {
+				t.Fatalf("cap %d step %d line %d: Admit=%v ref=%v", capacity, i, l, got, want)
+			}
+		}
+	}
+}

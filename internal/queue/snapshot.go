@@ -72,4 +72,11 @@ func (f *Filter) Restore(r *checkpoint.Reader) {
 	f.n = r.Int()
 	f.dropped = r.U64()
 	f.passed = r.U64()
+	// The signature array is derived state: rebuild it from the
+	// restored occupied span.
+	clear(f.sigs)
+	for i := 0; i < f.n; i++ {
+		slot := (f.head + i) % f.cap
+		f.setSig(slot, lineSig(f.fifo[slot]))
+	}
 }

@@ -1,0 +1,85 @@
+package table
+
+import (
+	"sync"
+
+	"ulmt/internal/mem"
+)
+
+// Successor-arena recycling. The arena is the dominant allocation of a
+// Table 2 instance (NumRows*NumLevels*NumSucc words — hundreds of
+// megabytes at the large geometries), and an experiment matrix builds
+// dozens of same-geometry tables back to back; zeroing each fresh
+// arena was the single largest flat cost in whole-run profiles.
+//
+// Recycled arenas are reused DIRTY. That is safe by the same argument
+// that lets Reset leave the arena untouched: every successor read is
+// bounded by the per-row occupancy counts (cnt), which a recycled
+// table starts with zeroed, so stale words beyond cnt are never
+// observable through the table's API. The snapshot codec does
+// serialize the full arena, so two checkpoints of behaviorally
+// identical tables may differ in their unreachable bytes — the
+// restored table is still behaviorally identical, which is what every
+// resume and fork oracle compares.
+//
+// The pool only fills through explicit Recycle calls (the experiment
+// runner retires a machine's tables once its results are extracted),
+// so code that never recycles sees fresh zeroed allocations, exactly
+// as before.
+var arenaPool struct {
+	mu    sync.Mutex
+	byLen map[int][][]mem.Line
+}
+
+// newArena returns a zero-length-history arena of exactly n words:
+// recycled when one of that length is pooled, freshly allocated
+// otherwise.
+func newArena(n int) []mem.Line {
+	arenaPool.mu.Lock()
+	if frees := arenaPool.byLen[n]; len(frees) > 0 {
+		a := frees[len(frees)-1]
+		arenaPool.byLen[n] = frees[:len(frees)-1]
+		arenaPool.mu.Unlock()
+		return a
+	}
+	arenaPool.mu.Unlock()
+	return make([]mem.Line, n)
+}
+
+func putArena(a []mem.Line) {
+	if len(a) == 0 {
+		return
+	}
+	arenaPool.mu.Lock()
+	if arenaPool.byLen == nil {
+		arenaPool.byLen = make(map[int][][]mem.Line)
+	}
+	arenaPool.byLen[len(a)] = append(arenaPool.byLen[len(a)], a)
+	arenaPool.mu.Unlock()
+}
+
+// FlushArenaPool drops every pooled arena, releasing the memory to
+// the GC. Subsequent builds allocate fresh zeroed arenas, which is
+// also what a caller needs before comparing two tables byte-for-byte
+// (a recycled arena carries unobservable stale words).
+func FlushArenaPool() {
+	arenaPool.mu.Lock()
+	arenaPool.byLen = nil
+	arenaPool.mu.Unlock()
+}
+
+// Recycle returns the table's successor arena to the process-wide
+// pool for a future same-geometry build. The table must not be used
+// afterwards.
+func (t *BaseTable) Recycle() {
+	putArena(t.succ)
+	t.succ = nil
+}
+
+// Recycle returns the table's successor arena to the process-wide
+// pool for a future same-geometry build. The table must not be used
+// afterwards.
+func (t *ReplTable) Recycle() {
+	putArena(t.succ)
+	t.succ = nil
+}

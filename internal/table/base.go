@@ -47,7 +47,7 @@ func NewBase(p Params, base mem.Addr) *BaseTable {
 		lru:      make([]uint64, p.NumRows),
 		valid:    make([]bool, p.NumRows),
 		cnt:      make([]uint8, p.NumRows),
-		succ:     make([]mem.Line, p.NumRows*p.NumSucc),
+		succ:     newArena(p.NumRows * p.NumSucc),
 	}
 	return t
 }

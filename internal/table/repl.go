@@ -69,7 +69,7 @@ func NewRepl(p Params, base mem.Addr) *ReplTable {
 		lru:         make([]uint64, p.NumRows),
 		valid:       make([]bool, p.NumRows),
 		cnt:         make([]uint8, p.NumRows*p.NumLevels),
-		succ:        make([]mem.Line, p.NumRows*p.NumLevels*p.NumSucc),
+		succ:        newArena(p.NumRows * p.NumLevels * p.NumSucc),
 		last:        make([]rowPtr, p.NumLevels),
 		cntScratch:  make([]uint8, p.NumLevels),
 		UsePointers: true,
@@ -229,6 +229,31 @@ func replLevels[S Sink](t *ReplTable, m mem.Line, s S, v *LevelView) bool {
 	return true
 }
 
+// replLevelsAlias is replLevels without the defensive copy: the view's
+// slices alias the packed row storage directly.
+func replLevelsAlias[S Sink](t *ReplTable, m mem.Line, s S, v *LevelView) bool {
+	t.st.Lookups++
+	set, way := replProbe(t, m, s)
+	if way < 0 {
+		v.levels = 0
+		return false
+	}
+	t.st.LookupHits++
+	r := set*t.p.Assoc + way
+	t.lru[r] = t.tick
+	s.Touch(t.rowAddr(set, way)+tagWordBytes, t.p.NumLevels*t.p.NumSucc*succWordBytes, false)
+	nl, ns := t.p.NumLevels, t.p.NumSucc
+	v.lines = t.succ[r*nl*ns : (r+1)*nl*ns]
+	v.counts = t.cnt[r*nl : (r+1)*nl]
+	v.levels, v.stride = nl, ns
+	n := 0
+	for i := 0; i < nl; i++ {
+		n += int(t.cnt[r*nl+i])
+	}
+	s.Instr(InstrReadSucc * n)
+	return true
+}
+
 // Learn records miss m. Specialized for the concrete hot-path sinks;
 // see BaseTable.Learn.
 func (t *ReplTable) Learn(m mem.Line, s Sink) {
@@ -256,6 +281,24 @@ func (t *ReplTable) Levels(m mem.Line, s Sink, v *LevelView) bool {
 		return replLevels(t, m, cs, v)
 	default:
 		return replLevels(t, m, s, v)
+	}
+}
+
+// LevelsAlias is Levels without the defensive copy: the view's level
+// slices alias the table's packed row storage, so the call moves no
+// successor bytes. The view is valid only until the next mutating call
+// (Learn, Relocate, Reset) and writing through it would corrupt table
+// state — callers that hold the view across mutations, or hand its
+// slices out, must use Levels. The simulator's prefetch step and the
+// Fig 5 predictors both consume the view before the next mutation.
+func (t *ReplTable) LevelsAlias(m mem.Line, s Sink, v *LevelView) bool {
+	switch cs := s.(type) {
+	case NullSink:
+		return replLevelsAlias(t, m, cs, v)
+	case *SessionSink:
+		return replLevelsAlias(t, m, cs, v)
+	default:
+		return replLevelsAlias(t, m, s, v)
 	}
 }
 

@@ -155,10 +155,13 @@ func sizePass(cands []*sizeCand, assoc int, trace []mem.Line) {
 // TableSizes reports the simulated footprint in bytes of the three
 // organizations at a shared NumRows, reproducing the last three
 // columns of Table 2 (20/12/28 bytes per row for Base/Chain/Repl on a
-// 32-bit machine).
+// 32-bit machine). Row bytes follow the constructors' layout — a tag
+// word plus the successor words (one level for Base and Chain,
+// NumLevels replicas for Repl) — without materializing the tables.
 func TableSizes(numRows int) (base, chain, repl int) {
-	b := NewBase(BaseParams(numRows), 0)
-	c := NewBase(ChainParams(numRows), 0)
-	r := NewRepl(ReplParams(numRows), 0)
-	return b.SizeBytes(), c.SizeBytes(), r.SizeBytes()
+	bp, cp, rp := BaseParams(numRows), ChainParams(numRows), ReplParams(numRows)
+	base = bp.NumRows * (tagWordBytes + bp.NumSucc*succWordBytes)
+	chain = cp.NumRows * (tagWordBytes + cp.NumSucc*succWordBytes)
+	repl = rp.NumRows * (tagWordBytes + rp.NumLevels*rp.NumSucc*succWordBytes)
+	return base, chain, repl
 }
