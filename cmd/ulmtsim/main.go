@@ -10,8 +10,31 @@
 //	        [-j N] [-faults off|light|heavy|k=v,...] [-fault-seed N]
 //	        [-fastpath on|off] [-fork on|off] [-cores N] [-shards N]
 //	        [-checkpoint-dir DIR] [-resume] [-run-timeout D] [-retries N]
+//	        [-cache-dir DIR] [-cache on|off] [-mem-budget MIB]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //	        [-gcpercent N] [-memlimit BYTES] [-bench-json FILE]
+//
+// With -cache-dir, every completed run's results (and the derived
+// per-application artifacts: Table 2 sizing, Fig 5 accuracies) are
+// persisted in a content-addressed cache keyed by what they depend on
+// — run identity, the invocation's behavior fingerprint, and a
+// code-behavior version constant. A later invocation with the same
+// parameters replays from disk instead of simulating, rendering a
+// byte-identical report in seconds; entries written by a different
+// scale, seed, fault plan or code generation are never served
+// (they're counted as stale and recomputed). -cache=off bypasses the
+// cache as an equivalence oracle. The footer reports hits, misses and
+// stale entries.
+//
+// -mem-budget caps retained simulation memory — the recycled
+// correlation-table arena pool plus fork-family snapshot rings —
+// under one ledger (default 192 MiB, 0 = uncapped): pooled arenas
+// are evicted largest-first under pressure, and snapshot captures the
+// budget cannot afford are skipped (the follower then falls back to a
+// scratch run — slower, never wrong). An active budget also drops the
+// GC target to 50% unless -gcpercent overrides it, so GOGC headroom
+// does not re-inflate what the ledger squeezed out; the pointer-free
+// simulation heap makes the extra GC cycles effectively free.
 //
 // With -checkpoint-dir, completed runs are persisted as they finish
 // and SIGINT/SIGTERM checkpoints whatever is mid-flight (at the next
@@ -114,7 +137,7 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
-	gcPercent := flag.Int("gcpercent", -1, "set the host GC target percentage (debug.SetGCPercent); -1 leaves GOGC alone")
+	gcPercent := flag.Int("gcpercent", -1, "set the host GC target percentage (debug.SetGCPercent); -1 uses 50 when -mem-budget is active, GOGC otherwise")
 	memLimit := flag.Int64("memlimit", 0, "set a soft host heap limit in bytes (debug.SetMemoryLimit); 0 leaves it alone")
 	benchJSON := flag.String("bench-json", "", "write headline run metrics as JSON to this file")
 	ckptDir := flag.String("checkpoint-dir", "", "persist completed results and mid-flight checkpoints under this directory (enables -resume and SIGINT/SIGTERM checkpointing)")
@@ -123,10 +146,23 @@ func run() error {
 	retries := flag.Int("retries", 2, "times a panicked or timed-out run is re-attempted before being reported failed")
 	cores := flag.Int("cores", 0, "main-processor count for -exp multicore (0 sweeps 2/4/8)")
 	shards := flag.Int("shards", 0, "correlation-table shards for -exp multicore (0 = private per-core ULMTs, >=1 = one shared table across that many memory threads)")
+	cacheDir := flag.String("cache-dir", "", "persist completed results and derived artifacts in a content-addressed cache under this directory; later invocations with the same parameters replay from it")
+	cacheFlag := flag.String("cache", "on", "result cache (on or off); off bypasses -cache-dir entirely (the equivalence oracle — reports are bit-identical either way)")
+	memBudget := flag.Int64("mem-budget", 192, "retained-memory budget in MiB for the arena pool and fork snapshot rings (0 = uncapped); peak heap runs about one budget above a retention-free run's baseline")
 	flag.Parse()
 
-	if *gcPercent >= 0 {
+	switch {
+	case *gcPercent >= 0:
 		debug.SetGCPercent(*gcPercent)
+	case *memBudget > 0:
+		// A retention budget says the user wants peak heap bounded, and
+		// GOGC's default 100% headroom would re-inflate whatever the
+		// ledger squeezed out. The simulation heap is deliberately
+		// pointer-free (packed arenas), so marking twice as often costs
+		// ~1ms a cycle and measures slightly FASTER than GOGC=100 at
+		// medium scale — the smaller heap is kinder to the caches.
+		// An explicit -gcpercent always wins.
+		debug.SetGCPercent(50)
 	}
 	if *memLimit > 0 {
 		debug.SetMemoryLimit(*memLimit)
@@ -195,11 +231,22 @@ func run() error {
 	default:
 		return fmt.Errorf("ulmtsim: -fork must be on or off, got %q", *forkFlag)
 	}
+	var cacheOn bool
+	switch *cacheFlag {
+	case "on":
+		cacheOn = true
+	case "off":
+		cacheOn = false
+	default:
+		return fmt.Errorf("ulmtsim: -cache must be on or off, got %q", *cacheFlag)
+	}
 	opt := experiment.Options{
 		Scale: scale, Seed: *seed, Faults: plan, NoFastPath: !fastpath, NoFork: !fork,
 		Resume: *resume, RunTimeout: *runTimeout, MaxRetries: *retries,
 		Jobs: *jobs, CheckpointDir: *ckptDir,
 		Cores: *cores, Shards: *shards,
+		CacheDir: *cacheDir, NoCache: !cacheOn,
+		MemBudget: *memBudget << 20,
 	}
 	if plan != nil {
 		opt.FaultTag = *faultSpec
@@ -230,6 +277,13 @@ func run() error {
 			return err
 		}
 		r.AttachStore(store)
+	}
+	if *cacheDir != "" && cacheOn {
+		cache, err := experiment.OpenCache(*cacheDir, opt)
+		if err != nil {
+			return err
+		}
+		r.AttachCache(cache)
 	}
 
 	// SIGINT/SIGTERM cancels the run-matrix context: in-flight runs
@@ -284,11 +338,17 @@ func run() error {
 	if s := wall.Seconds(); s > 0 {
 		rate = humanCount(uint64(float64(events) / s))
 	}
-	fmt.Printf("# host: peak heap %.1f MiB, GC cycles %d, GC pause %s, wall %s, events %s (%s/s), runs retried %d, failed %d, forked %d, scratch %d, snapshot ring %.1f MiB\n",
+	var cacheHits, cacheMisses, cacheStale uint64
+	cacheNote := ""
+	if c := r.Cache(); c != nil {
+		cacheHits, cacheMisses, cacheStale = c.Hits(), c.Misses(), c.Stale()
+		cacheNote = fmt.Sprintf(", cache hits %d, misses %d, stale %d", cacheHits, cacheMisses, cacheStale)
+	}
+	fmt.Printf("# host: peak heap %.1f MiB, GC cycles %d, GC pause %s, wall %s, events %s (%s/s), runs retried %d, failed %d, forked %d, scratch %d, snapshot ring %.1f MiB%s\n",
 		float64(m.peakHeap)/(1<<20), m.gcCycles,
 		time.Duration(m.gcPauseNs).Round(time.Microsecond), wall.Round(time.Millisecond),
 		humanCount(events), rate, r.Retried(), r.Failed(),
-		r.ForkedRuns(), r.ScratchRuns(), float64(r.SnapshotRingBytes())/(1<<20))
+		r.ForkedRuns(), r.ScratchRuns(), float64(r.SnapshotRingBytes())/(1<<20), cacheNote)
 
 	if *benchJSON != "" {
 		b, err := json.MarshalIndent(benchRecord{
@@ -309,6 +369,10 @@ func run() error {
 			ForkedRuns:        r.ForkedRuns(),
 			ScratchRuns:       r.ScratchRuns(),
 			SnapshotRingBytes: r.SnapshotRingBytes(),
+			Cache:             r.Cache() != nil,
+			CacheHits:         cacheHits,
+			CacheMisses:       cacheMisses,
+			CacheStale:        cacheStale,
 			ReportSHA256:      fmt.Sprintf("%x", sum.Sum(nil)),
 		}, "", "  ")
 		if err != nil {
@@ -339,6 +403,10 @@ type benchRecord struct {
 	ForkedRuns        uint64  `json:"forked_runs"`
 	ScratchRuns       uint64  `json:"scratch_runs"`
 	SnapshotRingBytes uint64  `json:"snapshot_ring_bytes"`
+	Cache             bool    `json:"cache"`
+	CacheHits         uint64  `json:"cache_hits"`
+	CacheMisses       uint64  `json:"cache_misses"`
+	CacheStale        uint64  `json:"cache_stale"`
 	ReportSHA256      string  `json:"report_sha256"`
 }
 

@@ -1,0 +1,108 @@
+package budget
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilLedgerIsUnlimited(t *testing.T) {
+	var l *Ledger
+	if !l.Reserve(1 << 40) {
+		t.Fatal("nil ledger must grant every reservation")
+	}
+	l.MustReserve(1 << 40)
+	l.Release(1 << 40)
+	if l.Used() != 0 || l.Cap() != 0 || l.Peak() != 0 {
+		t.Fatal("nil ledger must report zeros")
+	}
+	if New(0) != nil || New(-5) != nil {
+		t.Fatal("non-positive capacity must yield the unlimited ledger")
+	}
+}
+
+func TestReserveRelease(t *testing.T) {
+	l := New(100)
+	if !l.Reserve(60) || !l.Reserve(40) {
+		t.Fatal("reservations within capacity must succeed")
+	}
+	if l.Reserve(1) {
+		t.Fatal("reservation past capacity must fail")
+	}
+	if got := l.Used(); got != 100 {
+		t.Fatalf("Used = %d, want 100", got)
+	}
+	l.Release(50)
+	if !l.Reserve(50) {
+		t.Fatal("released capacity must be reusable")
+	}
+	if got := l.Peak(); got != 100 {
+		t.Fatalf("Peak = %d, want 100", got)
+	}
+}
+
+func TestMustReserveOvershoots(t *testing.T) {
+	l := New(100)
+	l.MustReserve(150)
+	if got := l.Used(); got != 150 {
+		t.Fatalf("Used = %d, want 150 (mandatory overshoot)", got)
+	}
+	if l.Reserve(1) {
+		t.Fatal("optional reservation must fail while overshot")
+	}
+	l.Release(150)
+	if got := l.Used(); got != 0 {
+		t.Fatalf("Used = %d, want 0", got)
+	}
+}
+
+func TestReclaimersMakeRoom(t *testing.T) {
+	l := New(100)
+	held := int64(90)
+	l.MustReserve(held)
+	l.AddReclaimer(func(need int64) int64 {
+		freed := min(need, held)
+		held -= freed
+		l.Release(freed)
+		return freed
+	})
+	if !l.Reserve(80) {
+		t.Fatal("reserve must succeed after reclaiming")
+	}
+	// The shortfall was used+need-cap = 90+80-100 = 70 bytes; the
+	// ledger must reclaim exactly that, not the full reservation.
+	if held != 20 {
+		t.Fatalf("reclaimer freed %d, want exactly the 70-byte shortfall", 90-held)
+	}
+}
+
+func TestOverReleaseClamps(t *testing.T) {
+	l := New(100)
+	l.Reserve(10)
+	l.Release(50)
+	if got := l.Used(); got != 0 {
+		t.Fatalf("Used = %d, want 0 after over-release", got)
+	}
+	if !l.Reserve(100) {
+		t.Fatal("full capacity must be available after clamp")
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	l := New(1 << 20)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if l.Reserve(64) {
+					l.Release(64)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Used(); got != 0 {
+		t.Fatalf("Used = %d, want 0 after balanced reserve/release", got)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ulmt/internal/budget"
 	"ulmt/internal/checkpoint"
 	"ulmt/internal/mem"
 	"ulmt/internal/prefetch"
@@ -100,10 +101,23 @@ type ForkRecorder struct {
 	MaxSnaps     int
 	MaxSnapBytes int
 
+	// Budget, when non-nil, is the shared retained-memory ledger the
+	// ring's payload buffers are reserved against. A capture the
+	// ledger cannot afford is skipped (SnapsSkipped counts them):
+	// followers then find a sparser ring and, at worst, fall back to
+	// a from-scratch run — correct, only slower.
+	Budget *budget.Ledger
+	// SnapsSkipped counts captures declined by the budget.
+	SnapsSkipped int
+
 	nextSnapAt uint64
 	ringBytes  int
 	peakBytes  int
 	free       [][]byte
+	// reserved is the ledger reservation currently held: the summed
+	// capacities of every payload buffer the recorder owns (in Snaps
+	// or parked in free). ReleaseRing returns it.
+	reserved int64
 	// lastCap remembers the previous payload's capacity so a capture
 	// with an empty freelist starts right-sized instead of doubling
 	// its way up through append.
@@ -139,6 +153,21 @@ func NewForkRecorder() *ForkRecorder {
 // PeakRingBytes reports the largest payload total the snapshot ring
 // held, for the host footer's snapshot_ring_bytes accounting.
 func (f *ForkRecorder) PeakRingBytes() int { return f.peakBytes }
+
+// ReleaseRing frees the snapshot ring, the parked payload buffers and
+// the decision log, returning their reservation to the Budget ledger.
+// The experiment planner calls it the moment the last follower of the
+// family has forked (or when a leader turns out to have no replaying
+// followers at all), so ring memory lives exactly as long as someone
+// can still use it. The recorder must not capture afterwards.
+func (f *ForkRecorder) ReleaseRing() {
+	f.Snaps = nil
+	f.free = nil
+	f.Log = nil
+	f.Budget.Release(f.reserved)
+	f.reserved = 0
+	f.ringBytes = 0
+}
 
 // add appends one record, or marks overflow once the cap is reached.
 // Keeping the first LogCap records (not the last) is deliberate:
@@ -188,7 +217,10 @@ func (f *ForkRecorder) wantSnapshot(fired uint64) bool {
 }
 
 // capture snapshots the machine (which must be at a quiescent point)
-// into the ring, thinning it first if full.
+// into the ring, thinning it first if full. The payload buffer's
+// bytes are reserved against the Budget ledger; a capture the ledger
+// cannot afford (even after the ledger's reclaimers evict pooled
+// arenas) is dropped rather than retained.
 func (f *ForkRecorder) capture(s *System) {
 	for len(f.Snaps) >= f.MaxSnaps || (f.ringBytes >= f.MaxSnapBytes && len(f.Snaps) > 1) {
 		f.thin()
@@ -197,12 +229,29 @@ func (f *ForkRecorder) capture(s *System) {
 	if n := len(f.free); n > 0 {
 		buf = f.free[n-1]
 		f.free = f.free[:n-1]
-	} else if f.lastCap > 0 {
+	} else if f.lastCap > 0 && f.Budget.Reserve(int64(f.lastCap)) {
 		buf = make([]byte, 0, f.lastCap)
+		f.reserved += int64(f.lastCap)
 	}
 	w := checkpoint.NewWriterInto(buf)
 	s.snapshot(w)
 	payload := w.Bytes()
+	// Serialization may have grown the buffer past what was reserved
+	// (or allocated fresh with nothing reserved at all): settle the
+	// difference with the ledger now.
+	if delta := int64(cap(payload)) - int64(cap(buf)); delta > 0 {
+		if !f.Budget.Reserve(delta) {
+			// Can't afford this snapshot: drop the whole buffer and
+			// its reservation, keep the ring as it was, and try again
+			// a capture interval later (the budget may have eased).
+			f.Budget.Release(int64(cap(buf)))
+			f.reserved -= int64(cap(buf))
+			f.SnapsSkipped++
+			f.nextSnapAt = s.eng.Fired() + f.SnapEvery
+			return
+		}
+		f.reserved += delta
+	}
 	f.lastCap = cap(payload)
 	f.Snaps = append(f.Snaps, ForkSnapshot{
 		Payload: payload,

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ulmt/internal/budget"
 	"ulmt/internal/core"
 	"ulmt/internal/fault"
 	"ulmt/internal/mem"
@@ -98,6 +99,19 @@ type Options struct {
 	// ULMT, >=1 shards one shared table across that many memory
 	// threads).
 	Shards int
+	// CacheDir roots the persistent content-addressed result cache
+	// (the -cache-dir flag; "" disables). Unlike CheckpointDir it is
+	// not manifest-pinned: one directory serves every invocation
+	// shape, with entry identity carried by each entry's key.
+	CacheDir string
+	// NoCache bypasses the result cache even when CacheDir is set
+	// (the -cache=off oracle): every run simulates, nothing is read
+	// or written. Reports are bit-identical either way.
+	NoCache bool
+	// MemBudget caps retained simulation memory — the recycled
+	// successor-arena pool plus fork-family snapshot rings — in bytes
+	// (the -mem-budget flag; 0 disables the cap).
+	MemBudget int64
 }
 
 func (o Options) apps() []string {
@@ -136,6 +150,9 @@ func (o Options) Validate() error {
 	if o.Shards < 0 {
 		return fmt.Errorf("experiment: -shards must be >= 0, got %d", o.Shards)
 	}
+	if o.MemBudget < 0 {
+		return fmt.Errorf("experiment: -mem-budget must be >= 0, got %d", o.MemBudget)
+	}
 	return nil
 }
 
@@ -156,10 +173,13 @@ const (
 	CfgCustom       = "Custom"
 )
 
-// sizing is the memoized result of the Table 2 row-sizing rule.
+// sizing is the memoized result of the Table 2 row-sizing rule, plus
+// the miss count of the trace it was derived from (so a cached sizing
+// lets Table 2 render without re-extracting the trace).
 type sizing struct {
-	rows int
-	rate float64
+	misses int
+	rows   int
+	rate   float64
 }
 
 // Runner memoizes op streams, miss traces, per-app table sizing, and
@@ -174,10 +194,18 @@ type Runner struct {
 	traces *memo[string, []mem.Line]
 	rows   *memo[string, sizing]
 	runs   *memo[RunKey, simOutcome]
+	fig5   *memo[string, Fig5Row]
 
 	// store, when attached, persists completed results and mid-flight
 	// checkpoints so an interrupted invocation can resume (heal.go).
 	store *Store
+	// cache, when attached, serves completed runs and derived
+	// artifacts across invocations (cache.go) and records new ones.
+	cache *Cache
+	// ledger, when non-nil, is the retained-memory budget every
+	// fork-family snapshot ring reserves against; the successor-arena
+	// pool shares it via table.SetArenaBudget.
+	ledger *budget.Ledger
 
 	// active registers in-flight simulations so Interrupt can stop
 	// them (checkpointing the ones that support it).
@@ -214,22 +242,41 @@ type Runner struct {
 	testHook func(RunKey)
 }
 
-// NewRunner builds an empty cache of experiment state.
+// NewRunner builds an empty cache of experiment state. A positive
+// Options.MemBudget installs a process-wide retained-memory ledger:
+// the successor-arena pool and every fork snapshot ring reserve
+// against it, with pooled arenas evicted largest-first under
+// pressure.
 func NewRunner(opt Options) *Runner {
-	return &Runner{
+	r := &Runner{
 		opt:    opt,
 		ops:    newMemo[string, []workload.Op](),
 		traces: newMemo[string, []mem.Line](),
 		rows:   newMemo[string, sizing](),
 		runs:   newMemo[RunKey, simOutcome](),
+		fig5:   newMemo[string, Fig5Row](),
 		active: make(map[RunKey]activeRun),
 	}
+	if opt.MemBudget > 0 {
+		r.ledger = budget.New(opt.MemBudget)
+		table.SetArenaBudget(r.ledger)
+	}
+	return r
 }
 
 // AttachStore gives the runner a checkpoint directory to persist
 // results and mid-flight checkpoints into. Attach before any runs
 // execute.
 func (r *Runner) AttachStore(s *Store) { r.store = s }
+
+// AttachCache gives the runner a persistent result cache to serve
+// completed runs and derived artifacts from (and record new ones
+// into). Attach before any runs execute.
+func (r *Runner) AttachCache(c *Cache) { r.cache = c }
+
+// Cache returns the attached result cache (nil when none), so
+// cmd/ulmtsim can report its counters in the summary footer.
+func (r *Runner) Cache() *Cache { return r.cache }
 
 // Apps returns the application set this runner operates over.
 func (r *Runner) Apps() []string { return r.opt.apps() }
@@ -258,6 +305,10 @@ func (r *Runner) ScratchRuns() uint64 { return r.computed.Load() }
 func (r *Runner) SnapshotRingBytes() uint64 { return r.snapRingPeak.Load() }
 
 // Ops returns (generating once) the op stream of an application.
+// Streams are baseline live memory — the memo holds each for the
+// whole invocation — so they are deliberately outside the -mem-budget
+// ledger, which caps only memory retained *beyond* what a budgetless
+// run would hold (pooled arenas, snapshot rings).
 func (r *Runner) Ops(app string) []workload.Op {
 	return r.ops.get(app, func() []workload.Op {
 		w, err := workload.ByName(app)
@@ -271,6 +322,8 @@ func (r *Runner) Ops(app string) []workload.Op {
 }
 
 // MissTrace returns (extracting once) the functional L2 miss trace.
+// Like op streams, traces are baseline live memory and stay outside
+// the retention ledger.
 func (r *Runner) MissTrace(app string) []mem.Line {
 	return r.traces.get(app, func() []mem.Line {
 		cfg := core.DefaultConfig()
@@ -281,10 +334,23 @@ func (r *Runner) MissTrace(app string) []mem.Line {
 }
 
 // sizeRows applies (once) the Table 2 sizing rule to an application.
+// With a cache attached the derivation — which needs the full
+// functional miss trace — is served from disk, so a warm invocation
+// sizes every table without generating a single op stream.
 func (r *Runner) sizeRows(app string) sizing {
 	return r.rows.get(app, func() sizing {
-		n, rate := table.SizeRows(r.MissTrace(app), 2, 0.05, 1<<10, 1<<22)
-		return sizing{rows: n, rate: rate}
+		if r.cache != nil {
+			if a, ok := r.cache.loadSizing(app); ok {
+				return sizing{misses: a.Misses, rows: a.Rows, rate: a.Rate}
+			}
+		}
+		tr := r.MissTrace(app)
+		n, rate := table.SizeRows(tr, 2, 0.05, 1<<10, 1<<22)
+		s := sizing{misses: len(tr), rows: n, rate: rate}
+		if r.cache != nil {
+			r.cache.saveSizing(app, sizingArtifact{Misses: s.misses, Rows: s.rows, Rate: s.rate})
+		}
+		return s
 	})
 }
 

@@ -24,34 +24,52 @@ type Fig5Row struct {
 // conflict-free tables (paper §5.1: NumRows=256K, Assoc=4, NumSucc=4,
 // no prefetching performed).
 func (r *Runner) Fig5() []Fig5Row {
-	const levels = 3
-	rows := r.predictorRows()
-	big := table.Params{NumRows: rows, Assoc: 4, NumSucc: 4, NumLevels: levels}
-
-	makePredictor := func(alg string) prefetch.Predictor {
-		switch alg {
-		case "Seq1":
-			return prefetch.NewSeqPredictor(1, levels)
-		case "Seq4":
-			return prefetch.NewSeqPredictor(4, levels)
-		case "Base":
-			return prefetch.NewBasePredictor(big)
-		case "Chain":
-			return prefetch.NewChainPredictor(big, levels)
-		case "Repl":
-			return prefetch.NewReplPredictor(big)
-		case "Seq4+Base":
-			return prefetch.NewCombinedPredictor("Seq4+Base",
-				prefetch.NewSeqPredictor(4, levels), prefetch.NewBasePredictor(big))
-		case "Seq4+Repl":
-			return prefetch.NewCombinedPredictor("Seq4+Repl",
-				prefetch.NewSeqPredictor(4, levels), prefetch.NewReplPredictor(big))
-		}
-		panic("experiment: unknown Fig 5 algorithm " + alg)
-	}
-
 	var out []Fig5Row
 	for _, app := range r.opt.apps() {
+		out = append(out, r.fig5Row(app))
+	}
+	return out
+}
+
+// fig5Row computes (once) one application's Fig 5 accuracies. The
+// derivation runs seven predictors over the full miss trace — the
+// most expensive non-simulation work of a report — so with a cache
+// attached the finished row is served from disk and a warm invocation
+// skips the trace entirely. float64 accuracies round-trip JSON
+// exactly, keeping warm reports byte-identical.
+func (r *Runner) fig5Row(app string) Fig5Row {
+	return r.fig5.get(app, func() Fig5Row {
+		if r.cache != nil {
+			if a, ok := r.cache.loadFig5(app); ok {
+				return Fig5Row{App: app, Acc: a.Acc}
+			}
+		}
+		const levels = 3
+		rows := r.predictorRows()
+		big := table.Params{NumRows: rows, Assoc: 4, NumSucc: 4, NumLevels: levels}
+
+		makePredictor := func(alg string) prefetch.Predictor {
+			switch alg {
+			case "Seq1":
+				return prefetch.NewSeqPredictor(1, levels)
+			case "Seq4":
+				return prefetch.NewSeqPredictor(4, levels)
+			case "Base":
+				return prefetch.NewBasePredictor(big)
+			case "Chain":
+				return prefetch.NewChainPredictor(big, levels)
+			case "Repl":
+				return prefetch.NewReplPredictor(big)
+			case "Seq4+Base":
+				return prefetch.NewCombinedPredictor("Seq4+Base",
+					prefetch.NewSeqPredictor(4, levels), prefetch.NewBasePredictor(big))
+			case "Seq4+Repl":
+				return prefetch.NewCombinedPredictor("Seq4+Repl",
+					prefetch.NewSeqPredictor(4, levels), prefetch.NewReplPredictor(big))
+			}
+			panic("experiment: unknown Fig 5 algorithm " + alg)
+		}
+
 		tr := r.MissTrace(app)
 		row := Fig5Row{App: app, Acc: make(map[string][]float64)}
 		for _, alg := range Fig5Algorithms {
@@ -59,9 +77,11 @@ func (r *Runner) Fig5() []Fig5Row {
 			row.Acc[alg] = prefetch.Accuracy(p, tr)
 			prefetch.RecyclePredictor(p)
 		}
-		out = append(out, row)
-	}
-	return out
+		if r.cache != nil {
+			r.cache.saveFig5(app, fig5Artifact{Acc: row.Acc})
+		}
+		return row
+	})
 }
 
 // --- Figure 6: time between L2 misses ---

@@ -134,17 +134,23 @@ func (t *forkTrace) take() *core.ForkRecorder {
 	return t.rec
 }
 
-// release drops one planned follower's claim; the snapshot ring is
-// freed once every follower has passed through.
+// release drops one planned follower's claim; once every follower has
+// passed through, the snapshot ring is freed and its bytes returned
+// to the memory budget, restoring heap to pre-fork level while later
+// families are still running.
 func (t *forkTrace) release() {
 	t.mu.Lock()
 	t.refs--
 	var retire prefetch.Algorithm
+	var rec *core.ForkRecorder
 	if t.refs <= 0 {
-		t.rec = nil
+		rec, t.rec = t.rec, nil
 		retire, t.decode = t.decode, nil
 	}
 	t.mu.Unlock()
+	if rec != nil {
+		rec.ReleaseRing()
+	}
 	if retire != nil {
 		prefetch.RecycleTables(retire)
 	}
@@ -197,38 +203,32 @@ func (r *Runner) planFork(keys []RunKey) {
 	r.fork = fp
 }
 
-// forkOrder schedules leaders ahead of their followers, so workers
-// hitting a follower early block briefly on the leader memo instead of
-// simulating it redundantly from another slot.
-func (r *Runner) forkOrder(keys []RunKey) []RunKey {
-	fp := r.fork
-	if fp == nil || len(fp.leaders) == 0 {
-		return keys
-	}
-	out := make([]RunKey, 0, len(keys))
-	for _, k := range keys {
-		if _, ok := fp.leaders[k]; ok {
-			out = append(out, k)
-		}
-	}
-	for _, k := range keys {
-		if _, ok := fp.leaders[k]; !ok {
-			out = append(out, k)
-		}
-	}
-	return out
-}
-
 // newForkRecorder builds a recorder for a planned leader attempt, or
-// nil when this run cannot record (not a planned leader, or a
-// configuration that cannot snapshot). A fresh recorder per attempt
-// keeps a retried leader's log starting at record zero.
+// nil when this run cannot record (not a planned leader, a
+// configuration that cannot snapshot, or a family whose only planned
+// followers are identity aliases — those reuse the leader's results
+// outright and never replay, so recording would hold ring memory
+// nobody reads). A fresh recorder per attempt keeps a retried
+// leader's log starting at record zero. The recorder reserves its
+// snapshot payloads against the runner's memory budget, skipping
+// captures the ledger cannot afford.
 func (r *Runner) newForkRecorder(k RunKey, sys *core.System) *core.ForkRecorder {
 	fp := r.fork
-	if fp == nil || fp.leaders[k] == nil || !sys.SupportsCheckpoint() {
+	if fp == nil || !sys.SupportsCheckpoint() {
+		return nil
+	}
+	slot := fp.leaders[k]
+	if slot == nil {
+		return nil
+	}
+	slot.mu.Lock()
+	refs := slot.refs
+	slot.mu.Unlock()
+	if refs == 0 {
 		return nil
 	}
 	rec := core.NewForkRecorder()
+	rec.Budget = r.ledger
 	if r.forkTune != nil {
 		r.forkTune(rec)
 	}

@@ -86,9 +86,19 @@ func (r *Runner) outcome(k RunKey) simOutcome {
 // persistence around it. It runs at most once per key (single-flight
 // memo) and its attempts are strictly sequential.
 func (r *Runner) compute(k RunKey) simOutcome {
+	// The persistent cache is consulted before any execution strategy:
+	// a hit replays the exact Results a previous invocation computed
+	// (same behavior version, same Options fingerprint), so neither
+	// fork machinery nor a simulation is touched.
+	if r.cache != nil {
+		if res, ok := r.cache.LoadRun(k); ok {
+			return simOutcome{res: res}
+		}
+	}
 	if r.store != nil && r.opt.Resume {
 		res, ok, err := r.store.LoadResult(k)
 		if ok {
+			r.saveToCache(k, res)
 			return simOutcome{res: res}
 		}
 		if err != nil {
@@ -100,11 +110,14 @@ func (r *Runner) compute(k RunKey) simOutcome {
 	// leader's warm state (fork.go); any unmet precondition falls
 	// through to the scratch path below.
 	if out, ok := r.computeForked(k); ok {
-		if out.err == nil && r.store != nil {
-			if serr := r.store.SaveResult(k, out.res); serr != nil {
-				fmt.Fprintf(os.Stderr, "ulmtsim: persisting %s/%s: %v\n", k.App, k.Label, serr)
+		if out.err == nil {
+			r.saveToCache(k, out.res)
+			if r.store != nil {
+				if serr := r.store.SaveResult(k, out.res); serr != nil {
+					fmt.Fprintf(os.Stderr, "ulmtsim: persisting %s/%s: %v\n", k.App, k.Label, serr)
+				}
+				r.store.RemoveCheckpoint(k)
 			}
-			r.store.RemoveCheckpoint(k)
 		}
 		return out
 	}
@@ -118,6 +131,7 @@ func (r *Runner) compute(k RunKey) simOutcome {
 		}
 		res, err := r.attempt(k)
 		if err == nil {
+			r.saveToCache(k, res)
 			if r.store != nil {
 				if serr := r.store.SaveResult(k, res); serr != nil {
 					fmt.Fprintf(os.Stderr, "ulmtsim: persisting %s/%s: %v\n", k.App, k.Label, serr)
@@ -136,6 +150,16 @@ func (r *Runner) compute(k RunKey) simOutcome {
 	}
 	r.failed.Add(1)
 	return simOutcome{err: lastErr}
+}
+
+// saveToCache records a completed result in the persistent cache (a
+// no-op without one). Called on every success path — scratch, forked,
+// and store-resumed — so a cache attached mid-way through a matrix's
+// history still converges to fully warm.
+func (r *Runner) saveToCache(k RunKey, res core.Results) {
+	if r.cache != nil {
+		r.cache.SaveRun(k, res)
+	}
 }
 
 // attempt executes one isolated try of the simulation: panics become

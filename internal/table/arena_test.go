@@ -1,0 +1,101 @@
+package table
+
+import (
+	"testing"
+
+	"ulmt/internal/budget"
+)
+
+// withArenaBudget installs a ledger for one test, restoring the
+// unbudgeted pool (and dropping every reservation) afterwards.
+func withArenaBudget(t *testing.T, capBytes int64) *budget.Ledger {
+	t.Helper()
+	FlushArenaPool()
+	l := budget.New(capBytes)
+	SetArenaBudget(l)
+	t.Cleanup(func() {
+		FlushArenaPool()
+		SetArenaBudget(nil)
+	})
+	return l
+}
+
+// TestArenaPoolBounded is the peak-heap regression gate: the ledger
+// tracks only RETAINED bytes (live arenas are free), the pool must
+// never retain more than the budget, must evict its largest arenas
+// first when squeezed, must drop an arena it cannot afford, and must
+// release every reservation on flush or reuse. Without this bound the
+// experiment matrix's retained arenas tripled peak heap
+// (BENCH_ulmt.json, 2026-08-09 entry).
+func TestArenaPoolBounded(t *testing.T) {
+	const word = int64(8)
+	l := withArenaBudget(t, 100*word)
+
+	small := newArena(20)
+	big := newArena(60)
+	if got := l.Used(); got != 0 {
+		t.Fatalf("live arenas reserved %d bytes, want 0 (ledger tracks retention only)", got)
+	}
+
+	// Recycling both fits: 80 words pooled <= 100.
+	putArena(small)
+	putArena(big)
+	if got := PooledArenaBytes(); got != 80*word {
+		t.Fatalf("pooled = %d bytes, want %d", got, 80*word)
+	}
+	if got := l.Used(); got != 80*word {
+		t.Fatalf("ledger used = %d bytes, want %d (pooled bytes reserved)", got, 80*word)
+	}
+
+	// Parking 50 more words (80 + 50 = 130 > 100) evicts the LARGEST
+	// pooled arena first: the 60-word arena goes, the 20-word one
+	// survives, and the incoming 50-word one parks.
+	putArena(newArena(50))
+	if got := PooledArenaBytes(); got != 70*word {
+		t.Fatalf("pooled after squeeze = %d bytes, want %d (largest-first eviction)", got, 70*word)
+	}
+
+	// An arena the cap can never hold is dropped, not retained.
+	putArena(newArena(120))
+	if got := PooledArenaBytes(); got != 70*word {
+		t.Fatalf("pooled after unaffordable put = %d bytes, want %d (arena dropped)", got, 70*word)
+	}
+	if got := l.Used(); got > 100*word {
+		t.Fatalf("ledger used = %d bytes, want <= cap %d", got, 100*word)
+	}
+
+	// Taking a pooled arena live releases its reservation.
+	reused := newArena(20)
+	_ = reused
+	if got := l.Used(); got != 50*word {
+		t.Fatalf("ledger used after reuse = %d bytes, want %d (reservation released)", got, 50*word)
+	}
+
+	FlushArenaPool()
+	if got := PooledArenaBytes(); got != 0 {
+		t.Fatalf("pooled after flush = %d bytes, want 0", got)
+	}
+	if got := l.Used(); got != 0 {
+		t.Fatalf("ledger used after flush = %d bytes, want 0", got)
+	}
+}
+
+// TestArenaPoolUnbudgeted pins the pre-budget behavior: without a
+// ledger the pool retains everything and reuses exact-length matches.
+func TestArenaPoolUnbudgeted(t *testing.T) {
+	FlushArenaPool()
+	t.Cleanup(FlushArenaPool)
+	a := newArena(1 << 10)
+	a[0] = 42
+	putArena(a)
+	if got := PooledArenaBytes(); got != (1<<10)*8 {
+		t.Fatalf("pooled = %d bytes, want %d", got, (1<<10)*8)
+	}
+	b := newArena(1 << 10)
+	if &a[0] != &b[0] {
+		t.Fatal("same-length arena must be recycled, not freshly allocated")
+	}
+	if b[0] != 42 {
+		t.Fatal("recycled arenas are reused dirty by contract")
+	}
+}
