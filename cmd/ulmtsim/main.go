@@ -146,6 +146,7 @@ func run() error {
 	retries := flag.Int("retries", 2, "times a panicked or timed-out run is re-attempted before being reported failed")
 	cores := flag.Int("cores", 0, "main-processor count for -exp multicore (0 sweeps 2/4/8)")
 	shards := flag.Int("shards", 0, "correlation-table shards for -exp multicore (0 = private per-core ULMTs, >=1 = one shared table across that many memory threads)")
+	intraJ := flag.Int("intra-j", 1, "intra-run workers advancing one multicore machine's time windows (1 = sequential oracle, 0 = GOMAXPROCS); reports are byte-identical at any value")
 	cacheDir := flag.String("cache-dir", "", "persist completed results and derived artifacts in a content-addressed cache under this directory; later invocations with the same parameters replay from it")
 	cacheFlag := flag.String("cache", "on", "result cache (on or off); off bypasses -cache-dir entirely (the equivalence oracle — reports are bit-identical either way)")
 	memBudget := flag.Int64("mem-budget", 192, "retained-memory budget in MiB for the arena pool and fork snapshot rings (0 = uncapped); peak heap runs about one budget above a retention-free run's baseline")
@@ -244,7 +245,7 @@ func run() error {
 		Scale: scale, Seed: *seed, Faults: plan, NoFastPath: !fastpath, NoFork: !fork,
 		Resume: *resume, RunTimeout: *runTimeout, MaxRetries: *retries,
 		Jobs: *jobs, CheckpointDir: *ckptDir,
-		Cores: *cores, Shards: *shards,
+		Cores: *cores, Shards: *shards, IntraJobs: *intraJ,
 		CacheDir: *cacheDir, NoCache: !cacheOn,
 		MemBudget: *memBudget << 20,
 	}
@@ -352,10 +353,15 @@ func run() error {
 
 	if *benchJSON != "" {
 		b, err := json.MarshalIndent(benchRecord{
-			Exp:   *exp,
-			Scale: scale.String(),
-			Seed:  *seed,
-			Jobs:  *jobs,
+			Exp:    *exp,
+			Scale:  scale.String(),
+			Seed:   *seed,
+			Jobs:   *jobs,
+			IntraJ: *intraJ,
+			// Parallel-mode wall clocks are only comparable at equal
+			// parallelism; record the host's.
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			HostVCPUs:  runtime.NumCPU(),
 			// Planned matrix keys, or (for experiments that simulate
 			// at render time, like multicore) the runs computed.
 			Runs:              max(len(keys), int(r.RunsComputed())),
@@ -392,6 +398,9 @@ type benchRecord struct {
 	Scale             string  `json:"scale"`
 	Seed              uint64  `json:"seed"`
 	Jobs              int     `json:"jobs"`
+	IntraJ            int     `json:"intra_j"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	HostVCPUs         int     `json:"host_vcpus"`
 	Runs              int     `json:"runs"`
 	WallSeconds       float64 `json:"wall_seconds"`
 	PeakHeapMiB       float64 `json:"peak_heap_mib"`

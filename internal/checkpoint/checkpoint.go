@@ -47,7 +47,9 @@ import (
 // the payload layout changes; Load rejects any other value.
 // Version 2: cpu snapshots carry the finished flag, bus snapshots the
 // per-class transfer counts, and multi-core payloads exist.
-const Version = 2
+// Version 3: shard-set snapshots carry the per-core attribution
+// counters and the row-owner map.
+const Version = 3
 
 var magic = [8]byte{'U', 'L', 'M', 'T', 'C', 'K', 'P', 'T'}
 

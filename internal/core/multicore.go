@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ulmt/internal/budget"
 	"ulmt/internal/bus"
 	"ulmt/internal/checkpoint"
 	"ulmt/internal/cpu"
@@ -64,6 +65,21 @@ type MulticoreConfig struct {
 	// (default 4): the cost of handing a miss observation from a
 	// core's controller queue to the shard set.
 	DeliverLat sim.Cycle
+	// IntraJ is the intra-run worker count for the windowed schedule
+	// an N >= 2 machine always executes (see DESIGN.md "Intra-run
+	// parallel execution"): 1 (the default) keeps every core stretch
+	// on the driving goroutine, 0 means GOMAXPROCS, and any value
+	// produces byte-identical results. A single-core machine ignores
+	// it and runs the classic engine loop, event-for-event equal to
+	// System.Run.
+	IntraJ int
+	// WindowCap, when > 0, bounds window spans to that many cycles.
+	// Results are cap-invariant; the equivalence fuzzer sweeps it.
+	WindowCap sim.Cycle
+	// Ledger, when non-nil, is charged for the parallel mode's
+	// per-core mailbox buffers so -mem-budget keeps bounding retained
+	// memory; reservations are released when the run ends.
+	Ledger *budget.Ledger
 }
 
 // MulticoreResults reports an N-core run: per-core Results plus the
@@ -84,6 +100,10 @@ type MulticoreResults struct {
 	// breaks it out per shard when sharding (nil otherwise).
 	ULMT      stats.ULMTStats
 	ShardULMT []stats.ULMTStats
+	// ShardAttrib attributes shared-table traffic per core by row
+	// training origin — cross-core sharing vs pollution (nil unless
+	// sharding). Indexed by core id.
+	ShardAttrib []stats.ShardAttrib
 	// ShardFaults counts fault events injected at the shard set (the
 	// shared thread's session stalls); per-core injections are in
 	// each core's Results.Faults.
@@ -101,11 +121,33 @@ type MultiSystem struct {
 	cores  []*System
 	shards *shardSet
 
+	// windowed is fixed at construction: an N >= 2 machine always
+	// executes the windowed canonical schedule through de (IntraJ only
+	// picks the worker count); a 1-core machine keeps the classic
+	// engine loop, which stays event-for-event equal to System.Run.
+	windowed bool
+	de       *sim.DomainEngine
+
+	// budgetBytes tracks ledger reservations (mailbox buffers, window
+	// scratch, shard owner map) released when the run ends.
+	budgetBytes int64
+
 	started   bool
 	finished  []bool
 	finishAt  []sim.Cycle
 	remaining int
 }
+
+// coreDomain adapts one core's processor to sim.Domain. The domain's
+// private subsystem is the core's CPU + L1 (stretches probe through
+// System.windowProbeL1); everything else stays on the shared queue.
+type coreDomain struct{ p *cpu.Processor }
+
+func (d coreDomain) ArmedAt() (sim.Cycle, bool) { return d.p.Armed() }
+func (d coreDomain) Stretchable() bool          { return d.p.CanStretch() }
+func (d coreDomain) FireArmed()                 { d.p.FireArmedStep() }
+func (d coreDomain) Stretch(h sim.Cycle)        { d.p.RunStretch(h) }
+func (d coreDomain) Commit()                    { d.p.CommitStretch() }
 
 // NewMultiSystem builds the machine, or reports the first
 // configuration error.
@@ -128,6 +170,12 @@ func NewMultiSystem(mc MulticoreConfig) (*MultiSystem, error) {
 	if mc.Shards == 0 && mc.SharedULMT != nil {
 		return nil, fmt.Errorf("core: SharedULMT set but Shards == 0; use CoreApp.ULMT for private threads")
 	}
+	if mc.IntraJ < 0 {
+		return nil, fmt.Errorf("core: IntraJ must be >= 0, got %d", mc.IntraJ)
+	}
+	if mc.WindowCap < 0 {
+		return nil, fmt.Errorf("core: WindowCap must be >= 0, got %d", mc.WindowCap)
+	}
 
 	base := mc.Base
 	eng := sim.NewEngineWithKernel(base.Kernel)
@@ -147,6 +195,7 @@ func NewMultiSystem(mc MulticoreConfig) (*MultiSystem, error) {
 		fsb:      fsb,
 		ram:      d,
 		mapper:   mapper,
+		windowed: len(mc.Apps) >= 2,
 		finished: make([]bool, len(mc.Apps)),
 		finishAt: make([]sim.Cycle, len(mc.Apps)),
 	}
@@ -172,6 +221,10 @@ func NewMultiSystem(mc MulticoreConfig) (*MultiSystem, error) {
 		}
 		ss.cores = ms.cores
 		ss.pendingDeliver = make([]bool, len(ms.cores))
+		ss.attrib = make([]stats.ShardAttrib, len(ms.cores))
+		if mc.Ledger != nil {
+			ss.reserve = ms.reserveBudget
+		}
 		ms.shards = ss
 		for _, s := range ms.cores {
 			s.shards = ss
@@ -196,6 +249,64 @@ func (ms *MultiSystem) coreOps(i int) []workload.Op {
 	return offsetOps(ms.mc.Apps[i].Ops, mem.Addr(uint64(i))<<40)
 }
 
+// newCoreProc builds core i's processor and, in windowed mode, puts
+// it in armed-register scheduling with the read-only window probe and
+// ledger-charged mailbox growth before any event is scheduled.
+func (ms *MultiSystem) newCoreProc(i int, ops []workload.Op) *cpu.Processor {
+	s := ms.cores[i]
+	proc, err := cpu.New(ms.eng, s.cfg.CPU, s, ops)
+	if err != nil {
+		// NewMultiSystem validated every core config.
+		panic(err)
+	}
+	if ms.windowed {
+		proc.SetWindowed()
+		proc.SetWindowProbe(s.windowProbeL1)
+		if ms.mc.Ledger != nil {
+			proc.SetOnBufGrow(ms.reserveBudget)
+		}
+	}
+	s.proc = proc
+	return proc
+}
+
+// buildDomains assembles the DomainEngine over the cores, in core-id
+// order (the canonical domain order). Both the fresh-start and the
+// checkpoint-resume paths go through it.
+func (ms *MultiSystem) buildDomains() {
+	workers := ms.mc.IntraJ
+	if workers == 0 {
+		workers = -1 // NewDomainEngine resolves <1 to GOMAXPROCS
+	}
+	ms.de = sim.NewDomainEngine(ms.eng, workers)
+	ms.de.SetWindowCap(ms.mc.WindowCap)
+	for _, s := range ms.cores {
+		ms.de.Add(coreDomain{s.proc})
+	}
+	ms.reserveBudget(ms.de.ScratchBytes())
+}
+
+// reserveBudget charges delta bytes of parallel-mode scratch to the
+// run's ledger, remembering the total for releaseRun.
+func (ms *MultiSystem) reserveBudget(delta int64) {
+	ms.budgetBytes += delta
+	if ms.mc.Ledger != nil {
+		ms.mc.Ledger.MustReserve(delta)
+	}
+}
+
+// releaseRun returns ledger reservations and parks the worker pool;
+// every external run entry point defers it.
+func (ms *MultiSystem) releaseRun() {
+	if ms.de != nil {
+		ms.de.Close()
+	}
+	if ms.mc.Ledger != nil && ms.budgetBytes > 0 {
+		ms.mc.Ledger.Release(ms.budgetBytes)
+	}
+	ms.budgetBytes = 0
+}
+
 // start attaches every core's processor and schedules the initial
 // events.
 func (ms *MultiSystem) start() {
@@ -204,12 +315,7 @@ func (ms *MultiSystem) start() {
 	for i := range ms.cores {
 		s := ms.cores[i]
 		ops := ms.coreOps(i)
-		proc, err := cpu.New(ms.eng, s.cfg.CPU, s, ops)
-		if err != nil {
-			// NewMultiSystem validated every core config.
-			panic(err)
-		}
-		s.proc = proc
+		proc := ms.newCoreProc(i, ops)
 		i := i
 		proc.Start(func() {
 			ms.finished[i] = true
@@ -218,13 +324,21 @@ func (ms *MultiSystem) start() {
 		})
 		s.scheduleFaultRemaps(ops)
 	}
+	if ms.windowed {
+		ms.buildDomains()
+	}
 }
 
 // Run executes every core's stream to completion and returns the
 // measurements.
 func (ms *MultiSystem) Run() MulticoreResults {
 	ms.start()
-	ms.eng.Run()
+	defer ms.releaseRun()
+	if ms.windowed {
+		ms.de.Run()
+	} else {
+		ms.eng.Run()
+	}
 	return ms.collect()
 }
 
@@ -253,6 +367,7 @@ func (ms *MultiSystem) collect() MulticoreResults {
 		res.ULMT = ms.shards.ulmtStats()
 		res.ShardULMT = ms.shards.perShard()
 		res.ShardFaults = ms.shards.inj
+		res.ShardAttrib = append([]stats.ShardAttrib(nil), ms.shards.attrib...)
 	}
 	return res
 }
@@ -289,8 +404,11 @@ func (ms *MultiSystem) SupportsCheckpoint() bool {
 
 // checkpointReady reports a machine-wide quiescent point: every
 // unfinished core idle at its step event, every finished core fully
-// drained, the shard set idle, and the event queue holding exactly
-// one step event per unfinished core.
+// drained, and the shard set idle. In the classic loop the event
+// queue holds exactly one step event per unfinished core; in windowed
+// mode steps live in armed registers instead, so quiescence is an
+// empty queue with every unfinished core armed (a window barrier —
+// all cross-domain effects committed, nothing in flight).
 func (ms *MultiSystem) checkpointReady() bool {
 	unfinished := 0
 	for i, s := range ms.cores {
@@ -305,11 +423,19 @@ func (ms *MultiSystem) checkpointReady() bool {
 			if !s.proc.Idle() {
 				return false
 			}
+			if ms.windowed {
+				if _, armed := s.proc.Armed(); !armed {
+					return false
+				}
+			}
 			unfinished++
 		}
 	}
 	if ms.shards != nil && !ms.shards.idle() {
 		return false
+	}
+	if ms.windowed {
+		return ms.eng.Pending() == 0
 	}
 	return ms.eng.Pending() == unfinished
 }
@@ -318,15 +444,35 @@ func (ms *MultiSystem) checkpointReady() bool {
 // as System.RunControlled does. A nil ctl is Run.
 func (ms *MultiSystem) RunControlled(ctl *RunControl) (MulticoreResults, RunOutcome) {
 	ms.start()
+	defer ms.releaseRun()
 	return ms.runLoop(ctl)
+}
+
+// stepOnce advances the machine by one schedulable unit: one engine
+// event in the classic loop, or one DomainEngine unit (an event, a
+// sequential armed step, or a whole window) when windowed.
+func (ms *MultiSystem) stepOnce() bool {
+	if ms.windowed {
+		return ms.de.Step()
+	}
+	return ms.eng.Step()
 }
 
 func (ms *MultiSystem) runLoop(ctl *RunControl) (MulticoreResults, RunOutcome) {
 	if ctl == nil {
-		ms.eng.Run()
+		if ms.windowed {
+			ms.de.Run()
+		} else {
+			ms.eng.Run()
+		}
 		return ms.collect(), RunFinished
 	}
-	const pollBatch = 4096
+	// In windowed mode one step may be a whole window, so the poll
+	// batch shrinks to keep checkpoint/abort latency comparable.
+	pollBatch := 4096
+	if ms.windowed {
+		pollBatch = 1024
+	}
 	for {
 		switch ctl.state.Load() {
 		case ctlAbort:
@@ -335,12 +481,12 @@ func (ms *MultiSystem) runLoop(ctl *RunControl) (MulticoreResults, RunOutcome) {
 			if ms.checkpointReady() {
 				return MulticoreResults{}, RunCheckpointed
 			}
-			if !ms.eng.Step() {
+			if !ms.stepOnce() {
 				return ms.collect(), RunFinished
 			}
 		default:
 			for i := 0; i < pollBatch; i++ {
-				if !ms.eng.Step() {
+				if !ms.stepOnce() {
 					return ms.collect(), RunFinished
 				}
 			}
@@ -434,11 +580,7 @@ func (ms *MultiSystem) ResumePayload(payload []byte, ctl *RunControl) (Multicore
 		ms.finished[i] = r.Bool()
 		ms.finishAt[i] = sim.Cycle(r.I64())
 		stepAts[i] = sim.Cycle(r.I64())
-		proc, err := cpu.New(ms.eng, s.cfg.CPU, s, ms.coreOps(i))
-		if err != nil {
-			panic(err)
-		}
-		s.proc = proc
+		ms.newCoreProc(i, ms.coreOps(i))
 		s.restoreCore(r)
 	}
 	hasShards := r.Bool()
@@ -469,6 +611,10 @@ func (ms *MultiSystem) ResumePayload(payload []byte, ctl *RunControl) (Multicore
 		})
 		s.proc.ResumeAt(stepAts[i])
 	}
+	if ms.windowed {
+		ms.buildDomains()
+	}
+	defer ms.releaseRun()
 	res, out := ms.runLoop(ctl)
 	return res, out, nil
 }

@@ -197,7 +197,7 @@ func TestShardCountInvariantPrefetchStream(t *testing.T) {
 //     per-core miss counts sum to the bus's demand transfer count;
 //   - with the sharded ULMT, a demand miss is serviced exactly once
 //     by either the DRAM or an in-flight push (misses == full misses
-//     + delayed hits per core);
+//   - delayed hits per core);
 //   - identical runs are bit-identical.
 func TestMulticoreConservation(t *testing.T) {
 	mkStreams := func(n int, tag string) [][]workload.Op {

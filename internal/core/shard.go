@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"ulmt/internal/checkpoint"
 	"ulmt/internal/dram"
@@ -121,6 +122,20 @@ type shardSet struct {
 	faults   *fault.Plan
 	inj      fault.Injected
 
+	// owner maps each trained table row group (keyed by rowOf, the
+	// set index when the shared algorithm exposes one — cores have
+	// disjoint address spaces, so full lines never collide; sets do)
+	// to the core whose observation last trained it; attrib
+	// accumulates the per-core cross-core sharing/pollution counters
+	// built from it (stats.ShardAttrib). reserve, when non-nil,
+	// charges owner-map growth to the run's memory budget in
+	// ownerChunk-entry steps.
+	owner         map[uint64]int32
+	rowOf         func(mem.Line) uint64
+	attrib        []stats.ShardAttrib
+	reserve       func(delta int64)
+	ownerReserved int
+
 	// emits/obs/collect mirror System.ulmtEmits and friends: one
 	// reusable emit buffer, safe because sessions run synchronously
 	// at delivery and the buffer is copied into the job immediately.
@@ -164,6 +179,11 @@ func newShardSet(eng *sim.Engine, cfg Config, alg prefetch.Algorithm, nsh, batch
 		q3cap:      cfg.QueueDepth,
 	}
 	ss.issueDelay = cfg.MemProc.PrefetchToDRAM
+	if rk, ok := alg.(interface{ RowKey(mem.Line) uint64 }); ok {
+		ss.rowOf = rk.RowKey
+	} else {
+		ss.rowOf = func(l mem.Line) uint64 { return uint64(l) }
+	}
 	for i := range ss.shards {
 		d, err := dram.New(cfg.DRAM)
 		if err != nil {
@@ -271,6 +291,7 @@ func (ss *shardSet) process(core int, line mem.Line) {
 		}
 	}
 	sh.freeAt = occAt
+	ss.attribute(core, line, len(ss.emits))
 	if ss.onEmit != nil {
 		for _, l := range ss.emits {
 			ss.onEmit(core, si, l)
@@ -284,6 +305,47 @@ func (ss *shardSet) process(core int, line mem.Line) {
 	job.lines = append(job.lines[:0], ss.emits...)
 	ss.inFlight++
 	ss.eng.Schedule(respAt, ss, kdDeposit, sim.Event{P: job})
+}
+
+// ownerChunk is the owner-map budget-accounting granularity: growth
+// is charged per chunk of entries, at a conservative retained size
+// per entry (key + value + Go map overhead).
+const (
+	ownerChunk      = 4096
+	ownerEntryBytes = 64
+)
+
+// attribute books one processed observation into the per-core
+// sharing/pollution counters: emits charge to the training origin of
+// the table set the line maps to (local vs another core), and
+// retraining a set last trained by another core counts a takeover.
+// Runs at delivery time, in global delivery order, so the counters
+// are deterministic and shard-count-invariant (the key comes from
+// the shared table's geometry, not the shard).
+func (ss *shardSet) attribute(core int, line mem.Line, emits int) {
+	if ss.attrib == nil {
+		return
+	}
+	key := ss.rowOf(line)
+	prev, had := ss.owner[key]
+	if had && int(prev) != core {
+		ss.attrib[core].RowTakeovers++
+		ss.attrib[core].CrossEmits += uint64(emits)
+	} else {
+		ss.attrib[core].LocalEmits += uint64(emits)
+	}
+	if !had {
+		if ss.owner == nil {
+			ss.owner = make(map[uint64]int32)
+		}
+		if ss.reserve != nil && len(ss.owner) >= ss.ownerReserved {
+			ss.reserve(int64(ownerChunk) * ownerEntryBytes)
+			ss.ownerReserved += ownerChunk
+		}
+	}
+	if !had || int(prev) != core {
+		ss.owner[key] = int32(core)
+	}
 }
 
 // pushQ3 admits one post-Filter prefetch into the owning shard's push
@@ -420,6 +482,24 @@ func (ss *shardSet) snapshot(w *checkpoint.Writer) {
 			w.U64(e.seq)
 		}
 	}
+	w.Int(len(ss.attrib))
+	for _, a := range ss.attrib {
+		w.U64(a.LocalEmits)
+		w.U64(a.CrossEmits)
+		w.U64(a.RowTakeovers)
+	}
+	// Row-owner map, in sorted key order so the payload bytes are a
+	// pure function of state.
+	w.Int(len(ss.owner))
+	keys := make([]uint64, 0, len(ss.owner))
+	for k := range ss.owner {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		w.U64(k)
+		w.Int(int(ss.owner[k]))
+	}
 }
 
 func (ss *shardSet) restore(r *checkpoint.Reader) {
@@ -453,5 +533,35 @@ func (ss *shardSet) restore(r *checkpoint.Reader) {
 			e := shardPush{line: mem.Line(r.U64()), core: r.Int(), seq: r.U64()}
 			sh.q3 = append(sh.q3, e)
 		}
+	}
+	na := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if na != len(ss.attrib) {
+		r.Failf("checkpoint attributes %d cores, machine has %d", na, len(ss.attrib))
+		return
+	}
+	for i := range ss.attrib {
+		ss.attrib[i].LocalEmits = r.U64()
+		ss.attrib[i].CrossEmits = r.U64()
+		ss.attrib[i].RowTakeovers = r.U64()
+	}
+	no := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if no < 0 || no > 1<<28 {
+		r.Failf("implausible row-owner map size %d", no)
+		return
+	}
+	ss.owner = make(map[uint64]int32, no)
+	for j := 0; j < no; j++ {
+		ss.owner[r.U64()] = int32(r.Int())
+	}
+	if ss.reserve != nil && no > 0 {
+		chunks := (no + ownerChunk - 1) / ownerChunk
+		ss.ownerReserved = chunks * ownerChunk
+		ss.reserve(int64(ss.ownerReserved) * ownerEntryBytes)
 	}
 }

@@ -399,6 +399,27 @@ func (s *System) ProbeL1(va mem.Addr, write bool) (sim.Cycle, bool) {
 	return s.cfg.L1HitRT, true
 }
 
+// windowProbeL1 is the stretch-safe ProbeL1 variant installed on
+// windowed multicore processors (cpu.SetWindowProbe). It may run
+// concurrently with other cores' stretches, so the shared page mapper
+// is consulted strictly read-only (Lookup: no frame allocation, no
+// TLB fill); the L1 it mutates on a hit is this core's own. An
+// unmapped page reports a miss: the stretch hands over and the
+// sequential resume path performs the canonical first-touch through
+// Translate — including the corner where a fault-plan Remap recycled
+// a frame under a still-resident L1 line, which both the windowed and
+// the oracle schedule then resolve identically through access().
+func (s *System) windowProbeL1(va mem.Addr, write bool) (sim.Cycle, bool) {
+	pa, ok := s.mapper.Lookup(va)
+	if !ok {
+		return 0, false
+	}
+	if _, hit := s.l1.Probe(mem.LineOf(pa, s.cfg.L1.Line), write); !hit {
+		return 0, false
+	}
+	return s.cfg.L1HitRT, true
+}
+
 func (s *System) access(va mem.Addr, write bool, id uint64, done cpu.Completer) {
 	pa := s.mapper.Translate(va)
 	l1l := mem.LineOf(pa, s.cfg.L1.Line)

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ulmt/internal/fault"
+	"ulmt/internal/mem"
+	"ulmt/internal/sim"
+	"ulmt/internal/workload"
+)
+
+// Differential suite for the windowed (intra-run parallel) execution
+// mode. An N >= 2 MultiSystem always runs the windowed canonical
+// schedule; IntraJ picks how many goroutines advance it and WindowCap
+// how finely windows are sliced. Neither may change a single byte of
+// the results — these tests pin that, and the fuzz target sweeps the
+// machine shape space under -race.
+
+// privateConfig builds an n-core machine with private per-core Repl
+// tables (Shards == 0), bases strided like the experiment layer does.
+func privateConfig(streams [][]workload.Op) MulticoreConfig {
+	base := DefaultConfig()
+	base.Seed = 23
+	mc := MulticoreConfig{Base: base}
+	for i, ops := range streams {
+		mc.Apps = append(mc.Apps, CoreApp{
+			Name: "app",
+			Ops:  ops,
+			ULMT: newReplAt(TableBase + mem.Addr(uint64(i))<<40),
+		})
+	}
+	return mc
+}
+
+func runMC(t *testing.T, mc MulticoreConfig) MulticoreResults {
+	t.Helper()
+	ms, err := NewMultiSystem(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ms.Run()
+	if !ms.Quiesced() {
+		t.Fatal("machine did not quiesce")
+	}
+	return res
+}
+
+// TestWindowEquivalence pins byte identity of the full MulticoreResults
+// (per-core Results including CacheFP and Outcomes, FinishAt, bus and
+// ULMT aggregates, EventsFired) across intra-run worker counts and
+// window caps, for private and sharded prefetchers, with and without
+// a fault plan.
+func TestWindowEquivalence(t *testing.T) {
+	streams := [][]workload.Op{
+		randomOps([]byte("window equivalence stream a")),
+		randomOps([]byte("window equivalence stream b")),
+		randomOps([]byte("window equivalence stream c")),
+	}
+	cases := []struct {
+		name    string
+		mk      func() MulticoreConfig
+		faulted bool
+	}{
+		{name: "sharded", mk: func() MulticoreConfig { return shardedConfig(streams, 2, false) }},
+		{name: "private", mk: func() MulticoreConfig { return privateConfig(streams) }},
+		{name: "sharded-faults", mk: func() MulticoreConfig {
+			mc := shardedConfig(streams, 2, false)
+			mc.Base.Faults = fault.Light(7)
+			return mc
+		}, faulted: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want := runMC(t, tc.mk())
+			variants := []struct {
+				name  string
+				intra int
+				cap   sim.Cycle
+			}{
+				{"intra3", 3, 0},
+				{"intra0-gomaxprocs", 0, 0},
+				{"intra2-cap64", 2, 64},
+				{"intra1-cap1", 1, 1},
+			}
+			for _, v := range variants {
+				mc := tc.mk()
+				if tc.faulted {
+					// Fault plans carry mutable injection state; each
+					// machine needs its own (identically seeded) plan.
+					mc.Base.Faults = fault.Light(7)
+				}
+				mc.IntraJ = v.intra
+				mc.WindowCap = v.cap
+				got := runMC(t, mc)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s diverges from intra-j 1:\n got %+v\nwant %+v", v.name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWindowEquivalenceOracle pins the windowed fast path against the
+// event-driven oracle inside the same schedule: with DisableFastPath
+// every armed step fires sequentially through the real Memory path,
+// and the machine-visible results must not move.
+func TestWindowEquivalenceOracle(t *testing.T) {
+	streams := [][]workload.Op{
+		randomOps([]byte("window oracle stream a")),
+		randomOps([]byte("window oracle stream b")),
+	}
+	want := runMC(t, shardedConfig(streams, 2, false))
+	mc := shardedConfig(streams, 2, false)
+	mc.Base.CPU.DisableFastPath = true
+	got := runMC(t, mc)
+	// The oracle fires each issue cycle as its own occurrence, so the
+	// engine event counts legitimately differ; everything the machine
+	// computes must not.
+	got.EventsFired = want.EventsFired
+	for i := range got.Cores {
+		got.Cores[i].EventsFired = want.Cores[i].EventsFired
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("event-driven windowed oracle diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWindowedCheckpointResume is the barrier-cut kill-and-resume
+// test at -intra-j > 1: a parallel windowed run checkpointed at a
+// window barrier must resume — on a parallel machine again — into
+// results byte-identical to the uninterrupted run.
+func TestWindowedCheckpointResume(t *testing.T) {
+	w, err := workload.ByName("Mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := [][]workload.Op{
+		w.Generate(workload.ScaleTiny),
+		randomOps([]byte("windowed checkpoint second core")),
+	}
+	mk := func() MulticoreConfig {
+		mc := shardedConfig(streams, 2, false)
+		mc.IntraJ = 3
+		return mc
+	}
+
+	ms, err := NewMultiSystem(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ms.Run()
+	if want.EventsFired < 1000 {
+		t.Fatalf("baseline fired only %d events", want.EventsFired)
+	}
+
+	for _, frac := range []float64{0.3, 0.6, 0.9} {
+		ctl := &RunControl{CheckpointAfterEvents: uint64(float64(want.EventsFired) * frac)}
+		sys, err := NewMultiSystem(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, out := sys.RunControlled(ctl)
+		if out == RunFinished {
+			if !reflect.DeepEqual(res, want) {
+				t.Fatalf("frac %.2f: finished-run results diverge", frac)
+			}
+			continue
+		}
+		if out != RunCheckpointed {
+			t.Fatalf("frac %.2f: outcome %v", frac, out)
+		}
+		payload := sys.CheckpointPayload()
+		fresh, err := NewMultiSystem(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, out2, err := fresh.ResumePayload(payload, nil)
+		if err != nil {
+			t.Fatalf("frac %.2f: resume: %v", frac, err)
+		}
+		if out2 != RunFinished {
+			t.Fatalf("frac %.2f: resumed outcome %v", frac, out2)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frac %.2f: resumed results diverge:\n got %+v\nwant %+v", frac, got, want)
+		}
+	}
+}
+
+// TestShardAttribConservation sanity-checks the cross-core
+// attribution counters on a correlated mix (Mcf repeats its miss
+// stream, so the table learns and emits): emits are attributed, the
+// identical per-core streams alias into the same table sets so
+// cross-core takeovers show up, and a single-core sharded machine can
+// never record cross traffic.
+func TestShardAttribConservation(t *testing.T) {
+	w, err := workload.ByName("Mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := w.Generate(workload.ScaleTiny)
+	streams := [][]workload.Op{ops, ops}
+	res := runMC(t, shardedConfig(streams, 2, false))
+	if res.ShardAttrib == nil {
+		t.Fatal("sharded machine reported no attribution")
+	}
+	var local, cross, takeovers uint64
+	for _, a := range res.ShardAttrib {
+		local += a.LocalEmits
+		cross += a.CrossEmits
+		takeovers += a.RowTakeovers
+	}
+	if local+cross == 0 {
+		t.Fatal("no emits attributed at all")
+	}
+	if takeovers == 0 {
+		t.Fatal("identical per-core streams alias into the same sets; expected takeovers")
+	}
+
+	solo := runMC(t, shardedConfig(streams[:1], 2, false))
+	for _, a := range solo.ShardAttrib {
+		if a.CrossEmits != 0 || a.RowTakeovers != 0 {
+			t.Fatalf("single-core machine recorded cross-core traffic: %+v", a)
+		}
+	}
+}
+
+// FuzzWindowEquivalence sweeps machine shape (core count, shard
+// count, prefetcher layout), window cap, and worker count from fuzz
+// data, asserting the windowed schedule's results are byte-identical
+// to the intra-j 1, uncapped reference. Run under -race this also
+// hunts for stretch/shared-state conflicts.
+func FuzzWindowEquivalence(f *testing.F) {
+	f.Add([]byte{2, 1, 3, 0, 100, 101})
+	f.Add([]byte{3, 0, 4, 16, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{2, 2, 2, 1, 255, 0, 127, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			return
+		}
+		ncores := 2 + int(data[0])%3 // 2..4
+		nshards := int(data[1]) % 4  // 0 = private tables
+		intra := 2 + int(data[2])%3  // 2..4 workers
+		wcap := sim.Cycle(data[3]) * 8
+		body := data[4:]
+		if len(body) > 1200 {
+			body = body[:1200]
+		}
+		var streams [][]workload.Op
+		for i := 0; i < ncores; i++ {
+			streams = append(streams, randomOps(append([]byte{byte(i)}, body...)))
+		}
+		mk := func() MulticoreConfig {
+			if nshards == 0 {
+				return privateConfig(streams)
+			}
+			return shardedConfig(streams, nshards, false)
+		}
+		want := runMC(t, mk())
+		mc := mk()
+		mc.IntraJ = intra
+		mc.WindowCap = wcap
+		got := runMC(t, mc)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("windowed run (intra-j %d, cap %d) diverges from reference", intra, wcap)
+		}
+	})
+}

@@ -185,6 +185,35 @@ type Processor struct {
 	// Trace, when non-nil, receives every state transition (model
 	// debugging).
 	Trace func(ev string, at sim.Cycle)
+
+	// Windowed (domain) execution mode, used by the multi-core
+	// machine's conservative time windows (window.go): issue-cycle
+	// steps arm a register instead of entering the event queue, and
+	// stretches — private fast-path advances that may run concurrently
+	// with other cores' — probe the hierarchy through the windowMem
+	// wrapper installed by SetWindowProbe, a strictly read-only
+	// translation variant. Kept at the tail of the struct so the
+	// single-core machine's hot fields keep their cache layout.
+	windowed   bool
+	armed      bool
+	stretching bool
+
+	// Stretch exit latches (window.go): a mid-cycle L1 miss or stream
+	// retirement observed inside a stretch cannot touch the engine (it
+	// runs off-clock, possibly on another goroutine), so it is buffered
+	// here and committed to the queue at the window barrier.
+	strMissed   bool
+	strMissAt   sim.Cycle
+	strIssued   int
+	strFinished bool
+	strFinishAt sim.Cycle
+
+	// onBufGrow, when set, is told about completion-ring backing-array
+	// growth so the owning machine can charge the mailbox to a memory
+	// budget ledger (SetOnBufGrow). bufGrown latches growth observed
+	// inside a concurrent stretch until the sequential barrier.
+	onBufGrow func(delta int64)
+	bufGrown  int64
 }
 
 // New builds a processor over the op stream. Call Start to begin.
@@ -228,27 +257,53 @@ const (
 	// storeIDFlag for stores). It behaves exactly like the memory
 	// system's own completion event for an L1 hit.
 	kindDone
+	// kindMissResume is the windowed image of exitOnMiss's handoff: a
+	// stretch that hit an L1 miss at cycle C with `issued` slots
+	// already consumed commits this event at C (I0 = issued), and the
+	// remainder of the issue cycle runs through the event-driven path
+	// on the engine clock.
+	kindMissResume
+	// kindFinish is the windowed image of fastMaybeFinish: the stream
+	// fully retired inside a stretch, and the finish callback must run
+	// on the engine clock at the retirement cycle.
+	kindFinish
 )
 
 // scheduleStep enqueues the next issue cycle as a typed self-event:
 // the processor is its own sim.Actor, so the issue loop schedules
-// allocation-free.
+// allocation-free. In windowed mode the step arms a register instead:
+// the DomainEngine dispatches armed steps under the canonical order
+// (queue events first at a tie, then lowest core id), so keeping them
+// out of the shared queue is what makes the schedule worker-count
+// independent.
 func (p *Processor) scheduleStep(d sim.Cycle) {
 	p.stepAt = p.eng.Now() + d
+	if p.windowed {
+		p.armed = true
+		return
+	}
 	p.eng.ScheduleAfter(d, p, kindStep, sim.Event{})
 }
 
 // Fire implements sim.Actor, dispatching the processor's self-events.
 func (p *Processor) Fire(kind sim.Kind, ev sim.Event) {
-	if kind == kindDone {
+	switch kind {
+	case kindDone:
 		p.Complete(ev.I0, LevelL1)
-		return
+	case kindMissResume:
+		// The engine clock sits at the miss cycle; rerun the rest of
+		// the issue cycle (starting with the missing op) through the
+		// event-driven path, exactly as exitOnMiss would have inline.
+		p.issueFrom(int(ev.I0))
+	case kindFinish:
+		p.maybeFinish()
+	default: // kindStep
+		if p.fastMem != nil {
+			p.fastRun()
+			return
+		}
+		p.step()
 	}
-	if p.fastMem != nil {
-		p.fastRun()
-		return
-	}
-	p.step()
 }
 
 // Pause preempts the processor at the next issue boundary: no new

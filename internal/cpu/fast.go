@@ -65,6 +65,21 @@ func (p *Processor) pushRing(e fastDone) {
 		p.ring = p.ring[:n]
 		p.ringHead = 0
 	}
+	if p.onBufGrow != nil && len(p.ring) == cap(p.ring) {
+		before := cap(p.ring)
+		p.ring = append(p.ring, e)
+		const fastDoneBytes = 16 // due Cycle + id uint64
+		delta := int64(cap(p.ring)-before) * fastDoneBytes
+		if p.stretching {
+			// Off-clock: the ledger is shared, so growth observed
+			// inside a concurrent stretch is latched and charged at
+			// the sequential window barrier (CommitStretch).
+			p.bufGrown += delta
+		} else {
+			p.onBufGrow(delta)
+		}
+		return
+	}
 	p.ring = append(p.ring, e)
 }
 
@@ -222,7 +237,9 @@ func (p *Processor) fastStep(now sim.Cycle) (hasStep bool, stepAt sim.Cycle, exi
 }
 
 // fastIssueLoad retires an L1-hitting load inline, or reports an L1
-// miss having touched nothing.
+// miss having touched nothing. On a windowed core fastMem is the
+// windowMem wrapper, so the probe is the read-only window probe —
+// same call shape, no per-probe mode branch.
 func (p *Processor) fastIssueLoad(a mem.Addr, now sim.Cycle) bool {
 	rt, hit := p.fastMem.ProbeL1(a, false)
 	if !hit {
@@ -257,6 +274,15 @@ func (p *Processor) fastIssueStore(a mem.Addr, now sim.Cycle) bool {
 // the issue cycle — starting with the missing op itself — runs
 // through the event-driven path.
 func (p *Processor) exitOnMiss(now sim.Cycle, issued int) {
+	if p.stretching {
+		// Off-clock: latch the handoff point; CommitStretch turns it
+		// into a kindMissResume event at the window barrier. Buffered
+		// ring completions stay put — their dues all lie past the miss
+		// cycle (completions due at it fired before this step), so the
+		// commit order matches the inline handoff exactly.
+		p.strMissed, p.strMissAt, p.strIssued = true, now, issued
+		return
+	}
 	p.eng.AdvanceTo(now)
 	p.flushRing()
 	p.issueFrom(issued)
@@ -334,6 +360,12 @@ func (p *Processor) fastUnblock(now sim.Cycle) bool {
 // store.
 func (p *Processor) fastMaybeFinish(now sim.Cycle) {
 	if p.finished || p.pc < len(p.ops) || p.pendingLoads > 0 || p.pendingStores > 0 {
+		return
+	}
+	if p.stretching {
+		// Off-clock: latch retirement; CommitStretch schedules the
+		// kindFinish event so onDone runs on the engine clock.
+		p.strFinished, p.strFinishAt = true, now
 		return
 	}
 	p.eng.AdvanceTo(now)

@@ -110,10 +110,15 @@ func (p *Processor) Restore(r *checkpoint.Reader) {
 }
 
 // ResumeAt re-creates the processor's single pending event, the step
-// self-event the checkpointed run had scheduled at stepAt. It
-// replaces Start on the restore path. A restored Drained processor
-// has no pending event; callers skip ResumeAt for it.
+// self-event the checkpointed run had scheduled at stepAt — or, in
+// windowed mode, re-arms the step register the DomainEngine dispatches
+// from. It replaces Start on the restore path. A restored Drained
+// processor has no pending event; callers skip ResumeAt for it.
 func (p *Processor) ResumeAt(stepAt sim.Cycle) {
 	p.stepAt = stepAt
+	if p.windowed {
+		p.armed = true
+		return
+	}
 	p.eng.Schedule(stepAt, p, kindStep, sim.Event{})
 }

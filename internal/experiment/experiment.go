@@ -99,6 +99,13 @@ type Options struct {
 	// ULMT, >=1 shards one shared table across that many memory
 	// threads).
 	Shards int
+	// IntraJobs is the intra-run worker count for multicore machines
+	// (the -intra-j flag): 1 runs every core stretch on the driving
+	// goroutine (the sequential oracle), 0 means GOMAXPROCS, N > 1
+	// uses N workers. Reports are byte-identical at any value — an
+	// N >= 2 machine always executes the windowed canonical schedule,
+	// and IntraJobs only picks how many goroutines advance it.
+	IntraJobs int
 	// CacheDir roots the persistent content-addressed result cache
 	// (the -cache-dir flag; "" disables). Unlike CheckpointDir it is
 	// not manifest-pinned: one directory serves every invocation
@@ -149,6 +156,9 @@ func (o Options) Validate() error {
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("experiment: -shards must be >= 0, got %d", o.Shards)
+	}
+	if o.IntraJobs < 0 {
+		return fmt.Errorf("experiment: -intra-j must be >= 0, got %d", o.IntraJobs)
 	}
 	if o.MemBudget < 0 {
 		return fmt.Errorf("experiment: -mem-budget must be >= 0, got %d", o.MemBudget)

@@ -46,7 +46,7 @@ func (r *Runner) MulticoreMix(n int, withPrefetch bool) (core.MulticoreResults, 
 	base.Kernel = r.opt.Kernel
 	base.CPU.DisableFastPath = r.opt.NoFastPath
 
-	mc := core.MulticoreConfig{Base: base}
+	mc := core.MulticoreConfig{Base: base, IntraJ: r.opt.IntraJobs, Ledger: r.ledger}
 	names := make([]string, 0, n)
 	maxRows := 0
 	for i := 0; i < n; i++ {
@@ -126,5 +126,26 @@ func renderMulticore(w io.Writer, r *Runner) {
 		agg.AddRow("Bus transfers (prefetch)", noPref.BusTransfers.Prefetch, pref.BusTransfers.Prefetch)
 		agg.AddRow("ULMT misses observed", noPref.ULMT.MissesProcessed, pref.ULMT.MissesProcessed)
 		agg.Fprint(w)
+
+		// Cross-core attribution of the shared table: who profits from
+		// whose training, and who evicts whose rows. Only meaningful
+		// when sharding — private tables cannot interact.
+		if pref.ShardAttrib != nil {
+			at := report.Table{
+				Title: fmt.Sprintf("Shared-table cross-core attribution: %d cores", n),
+				Header: []string{"Core", "App", "LocalEmits", "CrossEmits",
+					"CrossShare", "RowTakeovers"},
+			}
+			for i, a := range pref.ShardAttrib {
+				total := a.LocalEmits + a.CrossEmits
+				share := 0.0
+				if total > 0 {
+					share = float64(a.CrossEmits) / float64(total)
+				}
+				at.AddRow(i, names[i], a.LocalEmits, a.CrossEmits,
+					report.F2(share), a.RowTakeovers)
+			}
+			at.Fprint(w)
+		}
 	}
 }

@@ -91,6 +91,28 @@ func (m *PageMapper) Translate(v Addr) Addr {
 	return Addr(pfn<<m.pageShift | off)
 }
 
+// Lookup translates without mutating the mapper: no frame allocation,
+// no TLB fill. The second result is false when the page has never been
+// touched (Translate would allocate a frame). Windowed core stretches
+// use this concurrently — it only reads table and tlb, and both are
+// written exclusively between windows, so concurrent Lookups are
+// race-free.
+func (m *PageMapper) Lookup(v Addr) (Addr, bool) {
+	if m.linear {
+		return v, true
+	}
+	vpn := uint64(v) >> m.pageShift
+	off := uint64(v) & ((1 << m.pageShift) - 1)
+	if e := &m.tlb[vpn&(tlbSize-1)]; e.ok && e.vpn == vpn {
+		return Addr(e.pfn<<m.pageShift | off), true
+	}
+	pfn, ok := m.table[vpn]
+	if !ok {
+		return 0, false
+	}
+	return Addr(pfn<<m.pageShift | off), true
+}
+
 func (m *PageMapper) frameUsed(pfn uint64) bool {
 	_, ok := m.used[pfn]
 	return ok

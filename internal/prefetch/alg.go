@@ -136,6 +136,12 @@ func (r *Repl) Prefetch(m mem.Line, s table.Sink, emit func(mem.Line)) {
 // Learn implements Algorithm.
 func (r *Repl) Learn(m mem.Line, s table.Sink) { r.T.Learn(m, s) }
 
+// RowKey folds a miss line to the table set it trains, the aliasing
+// granularity at which distinct miss streams interact in a shared
+// table. Consumers (the sharded ULMT's cross-core attribution) key
+// row ownership on it.
+func (r *Repl) RowKey(m mem.Line) uint64 { return r.T.SetOf(m) }
+
 // Combined chains two ULMT algorithms, running First's steps before
 // Second's. The CG customization of Table 5 is
 // Combined{Seq1, Repl} in Verbose mode.

@@ -228,6 +228,29 @@ func (u ULMTStats) IPC() float64 {
 	return float64(u.Instructions) / memProcCycles
 }
 
+// ShardAttrib attributes one core's shared-correlation-table traffic
+// by the training origin of the table sets it used. Cores run in
+// disjoint address regions, so whole miss lines never collide across
+// cores — the shared table's *set index* is where their streams
+// alias and compete for rows. A set's *owner* is the core whose
+// observation last trained it. Emits off a set another core trained
+// measure cross-core interaction at the aliasing granularity;
+// takeovers (retraining a set last trained by another core) measure
+// the table-space pollution a multiprogrammed mix inflicts, the
+// effect behind the sharded-vs-private inversion in EXPERIMENTS.md.
+type ShardAttrib struct {
+	// LocalEmits counts prefetches emitted for this core from rows it
+	// trained itself (or fresh rows).
+	LocalEmits uint64
+	// CrossEmits counts prefetches emitted for this core from rows
+	// last trained by a different core's miss stream.
+	CrossEmits uint64
+	// RowTakeovers counts observations where this core retrained a
+	// row last trained by a different core, evicting that core's
+	// successor history.
+	RowTakeovers uint64
+}
+
 // ExecBreakdown attributes execution time the way Figs 7 and 8 do.
 type ExecBreakdown struct {
 	Busy     sim.Cycle // computation + non-memory pipeline stalls

@@ -89,6 +89,12 @@ func (t *ReplTable) SizeBytes() int { return t.p.NumRows * t.rowBytes }
 
 func (t *ReplTable) setIndex(l mem.Line) uint64 { return uint64(l) & t.setMask }
 
+// SetOf exposes the set index a miss line maps to. Lines from
+// different address regions alias into the same sets, which is the
+// granularity at which independent miss streams interact (share or
+// evict each other's rows) in a shared table.
+func (t *ReplTable) SetOf(l mem.Line) uint64 { return t.setIndex(l) }
+
 func (t *ReplTable) rowAddr(set, way int) mem.Addr {
 	idx := set*t.p.Assoc + way
 	return t.base + mem.Addr(idx*t.rowBytes)
